@@ -1,0 +1,260 @@
+// Package scalabletcc's root benchmarks regenerate every table and figure
+// of the paper's evaluation in miniature (scaled workloads), one bench per
+// artifact, plus the ablation benches DESIGN.md calls out. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reports paper-relevant custom metrics (speedup,
+// bytes/instr, violations) alongside the usual ns/op, so `-bench` output
+// doubles as a quick reproduction report. cmd/tccbench runs the full-size
+// versions.
+package scalabletcc
+
+import (
+	"testing"
+
+	"scalabletcc/internal/experiments"
+	"scalabletcc/internal/mesh"
+	"scalabletcc/internal/stats"
+	"scalabletcc/tcc"
+)
+
+// benchOpts returns experiment options scaled for benchmark iteration.
+func benchOpts() experiments.Options {
+	return experiments.Options{
+		Scale:    0.1,
+		MaxProcs: 16,
+		Procs:    []int{1, 4, 16},
+		Apps:     []string{"barnes", "equake", "SPECjbb2000", "volrend"},
+	}
+}
+
+// BenchmarkTable3 regenerates the application-characterization table.
+func BenchmarkTable3(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != len(opts.Apps) {
+			b.Fatalf("got %d rows", len(rows))
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.App == "barnes" {
+					b.ReportMetric(float64(r.TxInstrP90), "barnes-txsize-p90")
+					b.ReportMetric(float64(r.DirsPerCommitP90), "barnes-dirs/commit-p90")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates the single-processor breakdown.
+func BenchmarkFig6(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig6(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var worst float64
+			for _, r := range rows {
+				if r.CommitFraction > worst {
+					worst = r.CommitFraction
+				}
+			}
+			b.ReportMetric(100*worst, "worst-commit-%-1cpu")
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates the scaling study.
+func BenchmarkFig7(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.Fig7(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, c := range cells {
+				if c.App == "SPECjbb2000" && c.Procs == 16 {
+					b.ReportMetric(c.Speedup, "jbb-speedup-16p")
+				}
+				if c.App == "equake" && c.Procs == 16 {
+					b.ReportMetric(c.Speedup, "equake-speedup-16p")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates the latency-sensitivity sweep.
+func BenchmarkFig8(b *testing.B) {
+	opts := benchOpts()
+	opts.Apps = []string{"equake", "SPECjbb2000"}
+	opts.HopLatencies = []int{1, 8}
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.Fig8(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, c := range cells {
+				if c.HopCycles == 8 {
+					switch c.App {
+					case "equake":
+						b.ReportMetric(c.SlowdownVsHop1, "equake-slowdown-8cyc")
+					case "SPECjbb2000":
+						b.ReportMetric(c.SlowdownVsHop1, "jbb-slowdown-8cyc")
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates the traffic decomposition.
+func BenchmarkFig9(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig9(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.App == "barnes" {
+					b.ReportMetric(r.Total, "barnes-bytes/instr")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkBaselineVsScalable regenerates the A1 ablation: parallel commit
+// vs the bus-serialized small-scale TCC.
+func BenchmarkBaselineVsScalable(b *testing.B) {
+	opts := benchOpts()
+	opts.Apps = []string{"commitbound"}
+	opts.Procs = []int{1, 16}
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.BaselineComparison(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, c := range cells {
+				if c.Procs == 16 {
+					b.ReportMetric(c.ScalableSpeedup, "scalable-speedup-16p")
+					b.ReportMetric(c.BaselineSpeedup, "bus-speedup-16p")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkGranularity regenerates the A2 ablation: word- vs line-level
+// conflict detection under false sharing.
+func BenchmarkGranularity(b *testing.B) {
+	opts := benchOpts()
+	opts.Apps = []string{"falseshare"}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Granularity(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && len(rows) > 0 {
+			b.ReportMetric(float64(rows[0].WordViolations), "word-violations")
+			b.ReportMetric(float64(rows[0].LineViolations), "line-violations")
+		}
+	}
+}
+
+// BenchmarkProbes regenerates the A3 ablation: deferred probe responses vs
+// repeated probing.
+func BenchmarkProbes(b *testing.B) {
+	opts := benchOpts()
+	opts.Apps = []string{"commitbound"}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Probes(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && len(rows) > 0 {
+			b.ReportMetric(rows[0].RepeatedSlowdown, "repeated-probing-slowdown")
+		}
+	}
+}
+
+// BenchmarkWriteBackCommit regenerates the A4 ablation: write-back vs
+// write-through commit traffic.
+func BenchmarkWriteBackCommit(b *testing.B) {
+	opts := benchOpts()
+	opts.Apps = []string{"swim", "radix"}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.WriteBack(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && len(rows) > 0 {
+			b.ReportMetric(rows[0].TrafficAmplification, "writethrough-traffic-x")
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed: simulated
+// cycles per wall-clock second on a 16-processor barnes run.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	prof := tcc.MustProfile("barnes").Scale(0.1)
+	cfg := tcc.DefaultConfig(16)
+	b.ReportAllocs()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		res, err := tcc.Run(cfg, prof.Build(16, uint64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += uint64(res.Cycles)
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/op")
+}
+
+// BenchmarkCommitLatency isolates the commit path: a tiny-transaction
+// workload where validation+commit dominates, reporting mean commit-phase
+// cycles per transaction.
+func BenchmarkCommitLatency(b *testing.B) {
+	prof := tcc.MustProfile("commitbound").Scale(0.1)
+	cfg := tcc.DefaultConfig(16)
+	for i := 0; i < b.N; i++ {
+		res, err := tcc.Run(cfg, prof.Build(16, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && res.Commits > 0 {
+			var commitCycles uint64
+			for _, p := range res.PerProc {
+				commitCycles += p.Breakdown[stats.Commit]
+			}
+			b.ReportMetric(float64(commitCycles)/float64(res.Commits), "commit-cycles/tx")
+		}
+	}
+}
+
+// BenchmarkMeshThroughput measures the interconnect substrate alone.
+func BenchmarkMeshThroughput(b *testing.B) {
+	res, err := tcc.Run(tcc.DefaultConfig(16), tcc.MustProfile("radix").Scale(0.1).Build(16, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	bpi := res.ClassBytesPerInstr(mesh.ClassCommit)
+	b.ReportMetric(bpi, "commit-bytes/instr")
+	for i := 0; i < b.N; i++ {
+		if _, err := tcc.Run(tcc.DefaultConfig(16), tcc.MustProfile("radix").Scale(0.1).Build(16, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

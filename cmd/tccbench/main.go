@@ -1,0 +1,148 @@
+// Command tccbench regenerates the tables and figures of "A Scalable,
+// Non-blocking Approach to Transactional Memory" (HPCA 2007), plus the
+// ablations described in DESIGN.md.
+//
+// Usage:
+//
+//	tccbench -exp fig7 -scale 0.25 -procs 1,4,16,64
+//	tccbench -exp all -verify
+//
+// Experiments: table1 table2 table3 fig6 fig7 fig8 fig9 baseline
+// granularity probes writeback all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"scalabletcc/internal/experiments"
+	"scalabletcc/tcc"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: table1|table2|table3|fig6|fig7|fig8|fig9|baseline|granularity|probes|writeback|dircache|all")
+		apps   = flag.String("apps", "", "comma-separated app names (default: the paper's eleven)")
+		procs  = flag.String("procs", "", "comma-separated processor counts for sweeps (default 1,2,4,8,16,32,64)")
+		max    = flag.Int("maxprocs", 0, "machine size for table3/fig8/fig9/ablations (default 64; table3 default 32)")
+		scale  = flag.Float64("scale", 1.0, "workload scale factor (0.1 = ten times fewer transactions)")
+		seed   = flag.Uint64("seed", 1, "simulation seed")
+		verify = flag.Bool("verify", false, "run the serializability oracle on every run")
+		hops   = flag.String("hops", "", "comma-separated cycles/hop for fig8 (default 1,2,4,8)")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{
+		Scale:    *scale,
+		Seed:     *seed,
+		Verify:   *verify,
+		MaxProcs: *max,
+	}
+	if *apps != "" {
+		opts.Apps = strings.Split(*apps, ",")
+	}
+	var err error
+	if opts.Procs, err = parseInts(*procs); err != nil {
+		fatal(err)
+	}
+	if opts.HopLatencies, err = parseInts(*hops); err != nil {
+		fatal(err)
+	}
+
+	run := func(name string) {
+		fmt.Printf("== %s ==\n", name)
+		switch name {
+		case "table1":
+			experiments.Table1(os.Stdout)
+		case "table2":
+			p := opts.MaxProcs
+			if p == 0 {
+				p = 64
+			}
+			experiments.Table2(os.Stdout, tcc.DefaultConfig(p))
+		case "table3":
+			rows, err := experiments.Table3(opts)
+			exitOn(err)
+			experiments.PrintTable3(os.Stdout, rows)
+		case "fig6":
+			rows, err := experiments.Fig6(opts)
+			exitOn(err)
+			experiments.PrintFig6(os.Stdout, rows)
+		case "fig7":
+			cells, err := experiments.Fig7(opts)
+			exitOn(err)
+			experiments.PrintFig7(os.Stdout, cells)
+		case "fig8":
+			cells, err := experiments.Fig8(opts)
+			exitOn(err)
+			experiments.PrintFig8(os.Stdout, cells)
+		case "fig9":
+			rows, err := experiments.Fig9(opts)
+			exitOn(err)
+			experiments.PrintFig9(os.Stdout, rows)
+		case "baseline":
+			cells, err := experiments.BaselineComparison(opts)
+			exitOn(err)
+			experiments.PrintBaseline(os.Stdout, cells)
+		case "granularity":
+			rows, err := experiments.Granularity(opts)
+			exitOn(err)
+			experiments.PrintGranularity(os.Stdout, rows)
+		case "probes":
+			rows, err := experiments.Probes(opts)
+			exitOn(err)
+			experiments.PrintProbes(os.Stdout, rows)
+		case "writeback":
+			rows, err := experiments.WriteBack(opts)
+			exitOn(err)
+			experiments.PrintWriteBack(os.Stdout, rows)
+		case "dircache":
+			rows, err := experiments.DirCache(opts)
+			exitOn(err)
+			experiments.PrintDirCache(os.Stdout, rows)
+		default:
+			fatal(fmt.Errorf("unknown experiment %q", name))
+		}
+		fmt.Println()
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{
+			"table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9",
+			"baseline", "granularity", "probes", "writeback", "dircache",
+		} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tccbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,166 @@
+// Command tccsim runs one workload on one Scalable TCC machine
+// configuration and prints the execution-time breakdown, protocol counters,
+// and traffic decomposition — the single-run view of the simulator.
+//
+// Usage:
+//
+//	tccsim -app barnes -procs 32
+//	tccsim -app hotspot -procs 16 -granularity line -verify
+//	tccsim -app swim -procs 64 -hop 8 -scale 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"scalabletcc/internal/mesh"
+	"scalabletcc/internal/stats"
+	"scalabletcc/tcc"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "barnes", "workload profile (see -list)")
+		list     = flag.Bool("list", false, "list available workload profiles and exit")
+		procs    = flag.Int("procs", 16, "processor count")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		hop      = flag.Int("hop", 3, "mesh link latency, cycles per hop")
+		gran     = flag.String("granularity", "word", "conflict detection granularity: word|line")
+		retain   = flag.Int("retain", 8, "violations before TID retention (0 disables)")
+		wt       = flag.Bool("writethrough", false, "ship data with commit marks instead of write-back")
+		verify   = flag.Bool("verify", false, "check serializability of the commit log")
+		basel    = flag.Bool("baseline", false, "run the bus-based small-scale TCC instead")
+		tape     = flag.Bool("tape", false, "profile conflicts (TAPE): print the most damaging lines")
+		trace    = flag.Bool("trace", false, "print every protocol event to stderr (very verbose)")
+		traceFor = flag.String("tracefilter", "", "only print trace lines containing this substring")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Table 3 applications:")
+		for _, p := range tcc.Profiles() {
+			fmt.Printf("  %-16s tx=%6d instr, rd=%5d words, wr=%4d words, %d phases\n",
+				p.Name, p.TxInstr, p.ReadWords, p.WriteWords, p.NumPhases)
+		}
+		fmt.Println("Stress profiles:")
+		for _, p := range tcc.StressProfiles() {
+			fmt.Printf("  %-16s tx=%6d instr, rd=%5d words, wr=%4d words\n",
+				p.Name, p.TxInstr, p.ReadWords, p.WriteWords)
+		}
+		return
+	}
+
+	prof, ok := tcc.ProfileByName(*app)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tccsim: unknown app %q (try -list)\n", *app)
+		os.Exit(1)
+	}
+	prof = prof.Scale(*scale)
+
+	if *basel {
+		cfg := tcc.DefaultBaselineConfig(*procs)
+		cfg.Seed = *seed
+		cfg.CollectCommitLog = *verify
+		res, err := tcc.RunBaseline(cfg, prof.Build(*procs, *seed))
+		exitOn(err)
+		fmt.Printf("bus-based TCC: %s on %d procs\n", prof.Name, *procs)
+		fmt.Printf("  cycles      %d\n", res.Cycles)
+		fmt.Printf("  commits     %d, violations %d\n", res.Commits, res.Violations)
+		fmt.Printf("  bus         %d bytes, busy %d cycles (%.1f%%)\n",
+			res.BusBytes, res.BusBusy, 100*float64(res.BusBusy)/float64(res.Cycles))
+		printBreakdown(res.Breakdown)
+		if *verify {
+			reportVerify(len(tcc.VerifyBaseline(res)))
+		}
+		return
+	}
+
+	cfg := tcc.DefaultConfig(*procs)
+	cfg.Seed = *seed
+	cfg.HopLatency = *hop
+	cfg.LineGranularity = *gran == "line"
+	cfg.StarveRetainAfter = *retain
+	cfg.WriteThroughCommit = *wt
+	cfg.CollectCommitLog = *verify
+
+	sys, err := tcc.NewSystem(cfg, prof.Build(*procs, *seed))
+	exitOn(err)
+	var profiler *tcc.ConflictProfiler
+	if *tape {
+		profiler = sys.EnableConflictProfiler()
+	}
+	if *trace {
+		sys.SetTrace(func(f string, args ...any) {
+			line := fmt.Sprintf(f, args...)
+			if *traceFor == "" || strings.Contains(line, *traceFor) {
+				fmt.Fprintln(os.Stderr, line)
+			}
+		})
+	}
+	res, err := sys.Run()
+	exitOn(err)
+
+	fmt.Printf("Scalable TCC: %s on %d procs (%s granularity)\n", prof.Name, *procs, *gran)
+	fmt.Printf("  cycles        %d\n", res.Cycles)
+	fmt.Printf("  commits       %d, violations %d, committed instr %d\n",
+		res.Commits, res.Violations, res.Instr)
+	printBreakdown(res.Breakdown)
+	fmt.Printf("  tx fingerprint (p90): %d instr, rd %d B, wr %d B, %d dirs/commit\n",
+		res.TxInstrP90, res.RdSetBytesP90, res.WrSetBytesP90, res.DirsPerCommitP90)
+	fmt.Printf("  directories   occupancy p90 %d cycles, working set p90 %d entries\n",
+		res.DirOccupancyP90, res.DirWorkingSetP90)
+	fmt.Printf("  traffic       %.4f B/instr (commit %.4f, miss %.4f, wb %.4f, shared %.4f)\n",
+		res.BytesPerInstr(),
+		res.ClassBytesPerInstr(mesh.ClassCommit),
+		res.ClassBytesPerInstr(mesh.ClassMiss),
+		res.ClassBytesPerInstr(mesh.ClassWriteBack),
+		res.ClassBytesPerInstr(mesh.ClassShared))
+	fmt.Printf("  cache         %d misses, %d evictions, %d spills, %d invalidations\n",
+		res.CacheStats.Misses, res.CacheStats.Evictions, res.CacheStats.Spills,
+		res.CacheStats.Invalidations)
+	fmt.Printf("  protocol      %d stalled loads, %d owner forwards, %d dropped write-backs\n",
+		res.StalledLoads, res.Forwards, res.DroppedWBs)
+	if profiler != nil {
+		fmt.Printf("  TAPE          %d violations, %d wasted cycles\n",
+			profiler.TotalViolations(), profiler.WastedCycles())
+		for _, r := range profiler.Top(10) {
+			fmt.Printf("    %s\n", r)
+		}
+		if starved := profiler.Starved(uint64(*retain)); *retain > 0 && len(starved) > 0 {
+			for _, sr := range starved {
+				fmt.Printf("    starvation: proc %d hit a streak of %d retries\n", sr.Proc, sr.WorstStreak)
+			}
+		}
+	}
+	if *verify {
+		reportVerify(len(tcc.Verify(res)))
+	}
+}
+
+func printBreakdown(b stats.Breakdown) {
+	total := b.Total()
+	fmt.Printf("  breakdown     ")
+	for c := stats.Component(0); c < stats.NumComponents; c++ {
+		fmt.Printf("%s %.1f%%  ", c, 100*float64(b[c])/float64(total))
+	}
+	fmt.Println()
+}
+
+func reportVerify(violations int) {
+	if violations == 0 {
+		fmt.Println("  serializability: OK (every committed read matches the TID-serial order)")
+		return
+	}
+	fmt.Printf("  serializability: %d VIOLATIONS\n", violations)
+	os.Exit(1)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tccsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,59 @@
+// Contention: demonstrate the paper's livelock-freedom guarantee under an
+// adversarial all-conflict workload, and the TID-retention starvation
+// mitigation (§3.3).
+//
+// Every transaction reads and writes a tiny hot region, so almost every
+// pair of concurrent transactions conflicts. An eager-conflict-detection
+// HTM would need a user-level contention manager here; Scalable TCC's
+// commit-time detection guarantees the lowest TID always wins, so every
+// transaction eventually commits — the run terminates with all work done
+// and a clean serializability check, with or without retention.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scalabletcc/tcc"
+)
+
+func main() {
+	prof := tcc.MustProfile("hotspot").Scale(0.5)
+	const procs = 16
+
+	var profiler *tcc.ConflictProfiler
+	for _, retain := range []int{0, 8} {
+		cfg := tcc.DefaultConfig(procs)
+		cfg.StarveRetainAfter = retain
+		cfg.CollectCommitLog = true
+		sys, err := tcc.NewSystem(cfg, prof.Build(procs, cfg.Seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		profiler = sys.EnableConflictProfiler()
+		res, err := sys.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if v := tcc.Verify(res); len(v) != 0 {
+			log.Fatalf("serializability violated: %v", v[0])
+		}
+		var worst uint64
+		for _, p := range res.PerProc {
+			if p.MaxRetries > worst {
+				worst = p.MaxRetries
+			}
+		}
+		mode := "TID retention disabled"
+		if retain > 0 {
+			mode = fmt.Sprintf("TID retained after %d violations", retain)
+		}
+		fmt.Printf("%-36s commits=%4d violations=%5d worst-case retries=%d cycles=%d\n",
+			mode, res.Commits, res.Violations, worst, res.Cycles)
+	}
+	fmt.Println("\nTAPE conflict profile of the last run (where the contention lives):")
+	for _, line := range profiler.Top(3) {
+		fmt.Printf("  %s\n", line)
+	}
+	fmt.Println("\nevery transaction committed without a contention manager: livelock-free by construction")
+}

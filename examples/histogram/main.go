@@ -1,0 +1,93 @@
+// Histogram: a custom transactional program written directly against the
+// tcc API — the kind of code the paper's programming model is for.
+//
+// Every processor repeatedly picks a handful of items and transactionally
+// increments shared histogram buckets (read-modify-write), with no locks
+// anywhere. Conflicting increments to the same bucket are detected at commit
+// and replayed; the run ends with a serializability proof.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scalabletcc/tcc"
+)
+
+const (
+	buckets      = 256 // shared histogram buckets
+	histBase     = tcc.Addr(1 << 36)
+	privBase     = tcc.Addr(1 << 32)
+	txPerProc    = 64
+	incrementsTx = 4 // buckets updated per transaction
+)
+
+// histProgram implements tcc.Program.
+type histProgram struct {
+	procs int
+	seed  uint64
+}
+
+func (h *histProgram) Name() string                { return "histogram" }
+func (h *histProgram) Procs() int                  { return h.procs }
+func (h *histProgram) Phases() int                 { return 1 }
+func (h *histProgram) TxCount(proc, phase int) int { return txPerProc }
+
+// Tx builds one transaction: read a private input word, then
+// read-modify-write a few shared buckets. It is a pure function of
+// (proc, idx), so a violated transaction replays identically.
+func (h *histProgram) Tx(proc, phase, idx int) tcc.Tx {
+	state := h.seed ^ uint64(proc)<<32 ^ uint64(idx)
+	next := func(n int) int {
+		// splitmix64 step, good enough for bucket choice
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return int((z ^ (z >> 31)) % uint64(n))
+	}
+	var ops []tcc.Op
+	// Read the "input item" from private memory.
+	ops = append(ops,
+		tcc.Op{Kind: tcc.Load, Addr: privBase + tcc.Addr(proc)<<20 + tcc.Addr(next(1024)*4)},
+		tcc.Op{Kind: tcc.Compute, Cycles: 60},
+	)
+	for i := 0; i < incrementsTx; i++ {
+		b := tcc.Addr(next(buckets) * 4)
+		ops = append(ops,
+			tcc.Op{Kind: tcc.Load, Addr: histBase + b},  // read bucket
+			tcc.Op{Kind: tcc.Compute, Cycles: 8},        // increment
+			tcc.Op{Kind: tcc.Store, Addr: histBase + b}, // write bucket
+		)
+	}
+	return tcc.Tx{Ops: ops}
+}
+
+// PreMap homes the histogram pages round-robin and each private region at
+// its owner, as first-touch would.
+func (h *histProgram) PreMap(m *tcc.AddrMap) {
+	for b := 0; b < buckets; b += 1024 { // one 4 KB page per 1024 buckets
+		m.Home(histBase+tcc.Addr(b*4), b/1024)
+	}
+	for p := 0; p < h.procs; p++ {
+		m.Home(privBase+tcc.Addr(p)<<20, p)
+	}
+}
+
+func main() {
+	for _, procs := range []int{1, 4, 16} {
+		cfg := tcc.DefaultConfig(procs)
+		cfg.CollectCommitLog = true
+		prog := &histProgram{procs: procs, seed: 7}
+		res, err := tcc.Run(cfg, prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if v := tcc.Verify(res); len(v) != 0 {
+			log.Fatalf("serializability violated on %d procs: %v", procs, v[0])
+		}
+		fmt.Printf("%2d procs: %8d cycles, %4d commits, %3d violations (conflicting increments replayed)\n",
+			procs, res.Cycles, res.Commits, res.Violations)
+	}
+	fmt.Println("all runs serializable — lock-free histogram updates were linearized by the protocol")
+}

@@ -1,0 +1,3 @@
+module scalabletcc
+
+go 1.22

@@ -1,0 +1,231 @@
+// Package baseline implements the original small-scale TCC design the paper
+// scales past: OCC "condition 2" with a single global commit token and an
+// ordered broadcast bus (Hammond et al.'s TCC). Execution overlaps, but only
+// one transaction commits at a time, and every commit broadcasts its
+// write-set (addresses and data, write-through) to all processors, which
+// snoop it against their speculatively-read state.
+//
+// The paper's motivation — "the sum of all commit times places a lower
+// bound on execution time" and "write-through commits with broadcast
+// messages will cause excessive traffic" — is exactly what this model
+// exposes; the A1 ablation compares it with the scalable design on the same
+// workloads.
+package baseline
+
+import (
+	"fmt"
+
+	"scalabletcc/internal/mem"
+	"scalabletcc/internal/sim"
+	"scalabletcc/internal/stats"
+	"scalabletcc/internal/verify"
+	"scalabletcc/internal/workload"
+)
+
+// Config parameterizes the bus-based machine. The cache hierarchy matches
+// the scalable design so only the commit architecture differs.
+type Config struct {
+	Procs    int
+	Geometry mem.Geometry
+
+	L1Size, L1Ways int
+	L1Latency      sim.Time
+	L2Size, L2Ways int
+	L2Latency      sim.Time
+
+	BusBytesPerCycle int      // ordered bus bandwidth
+	BusArbitration   sim.Time // cycles to win the bus for one message
+	MemLatency       sim.Time
+
+	LineGranularity      bool
+	ViolationRestartCost sim.Time
+	Seed                 uint64
+	MaxCycles            sim.Time
+}
+
+// DefaultConfig mirrors core.DefaultConfig's node parameters with a shared
+// bus in place of the mesh.
+func DefaultConfig(procs int) Config {
+	return Config{
+		Procs:                procs,
+		Geometry:             mem.DefaultGeometry(),
+		L1Size:               32 << 10,
+		L1Ways:               4,
+		L1Latency:            1,
+		L2Size:               512 << 10,
+		L2Ways:               8,
+		L2Latency:            6,
+		BusBytesPerCycle:     16,
+		BusArbitration:       3,
+		MemLatency:           100,
+		ViolationRestartCost: 5,
+		Seed:                 1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Procs <= 0 {
+		return fmt.Errorf("baseline: Procs must be positive")
+	}
+	if c.BusBytesPerCycle <= 0 {
+		return fmt.Errorf("baseline: BusBytesPerCycle must be positive")
+	}
+	return c.Geometry.Validate()
+}
+
+// Results mirrors the scalable system's result shape where meaningful.
+type Results struct {
+	Cycles     sim.Time
+	Breakdown  stats.Breakdown
+	Commits    uint64
+	Violations uint64
+	Instr      uint64
+	BusBytes   uint64
+	BusBusy    sim.Time // cycles the bus was occupied
+	CommitLog  []verify.Record
+}
+
+// Speedup returns base's cycle count divided by r's.
+func (r *Results) Speedup(base *Results) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(r.Cycles)
+}
+
+// System is the assembled bus-based TCC machine.
+type System struct {
+	cfg    Config
+	kernel *sim.Kernel
+	prog   workload.Program
+
+	procs  []*proc
+	memory *mem.Memory
+
+	// Ordered bus: one shared medium with FIFO occupancy.
+	busFree  sim.Time
+	busBusy  sim.Time
+	busBytes uint64
+
+	// Commit token: FIFO arbiter.
+	tokenHeld  bool
+	tokenQueue []*proc
+
+	commitSeq  mem.Version // commit order stands in for TIDs
+	collectLog bool
+	commitLog  []verify.Record
+
+	barrierCount int
+	running      int
+
+	totalCommits    uint64
+	totalViolations uint64
+	committedInstr  uint64
+	endTime         sim.Time
+}
+
+// NewSystem builds a baseline machine for prog.
+func NewSystem(cfg Config, prog workload.Program) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if prog.Procs() != cfg.Procs {
+		return nil, fmt.Errorf("baseline: program built for %d procs, config has %d", prog.Procs(), cfg.Procs)
+	}
+	s := &System{
+		cfg:    cfg,
+		kernel: &sim.Kernel{},
+		prog:   prog,
+		memory: mem.NewMemory(cfg.Geometry),
+	}
+	for i := 0; i < cfg.Procs; i++ {
+		s.procs = append(s.procs, newProc(s, i))
+	}
+	return s, nil
+}
+
+// CollectCommitLog enables serializability logging.
+func (s *System) CollectCommitLog(on bool) { s.collectLog = on }
+
+// busSend schedules fn after the ordered bus carries a message of the given
+// size, modeling arbitration plus serialization.
+func (s *System) busSend(bytes int, fn func()) {
+	occupancy := sim.Time((bytes+s.cfg.BusBytesPerCycle-1)/s.cfg.BusBytesPerCycle) + s.cfg.BusArbitration
+	start := s.kernel.Now()
+	if s.busFree > start {
+		start = s.busFree
+	}
+	s.busFree = start + occupancy
+	s.busBusy += occupancy
+	s.busBytes += uint64(bytes)
+	s.kernel.At(start+occupancy, fn)
+}
+
+// acquireToken queues p for the global commit token.
+func (s *System) acquireToken(p *proc) {
+	if !s.tokenHeld {
+		s.tokenHeld = true
+		s.kernel.After(s.cfg.BusArbitration, p.onToken)
+		return
+	}
+	s.tokenQueue = append(s.tokenQueue, p)
+}
+
+// releaseToken passes the token to the next waiter.
+func (s *System) releaseToken() {
+	if len(s.tokenQueue) == 0 {
+		s.tokenHeld = false
+		return
+	}
+	next := s.tokenQueue[0]
+	s.tokenQueue = s.tokenQueue[1:]
+	s.kernel.After(s.cfg.BusArbitration, next.onToken)
+}
+
+// barrier synchronizes phases.
+func (s *System) barrierArrive() {
+	s.barrierCount++
+	if s.barrierCount < s.cfg.Procs {
+		return
+	}
+	s.barrierCount = 0
+	for _, p := range s.procs {
+		pp := p
+		s.kernel.After(1, pp.onBarrierRelease)
+	}
+}
+
+func (s *System) procDone() { s.running-- }
+
+// Run executes the program to completion.
+func (s *System) Run() (*Results, error) {
+	s.running = s.cfg.Procs
+	for _, p := range s.procs {
+		pp := p
+		s.kernel.At(0, pp.start)
+	}
+	for s.kernel.Pending() > 0 {
+		if s.cfg.MaxCycles > 0 && s.kernel.Now() > s.cfg.MaxCycles {
+			return nil, fmt.Errorf("baseline: watchdog expired at cycle %d", s.kernel.Now())
+		}
+		s.kernel.Step()
+	}
+	if s.running != 0 {
+		return nil, fmt.Errorf("baseline: deadlock with %d processors unfinished", s.running)
+	}
+	s.endTime = s.kernel.Now()
+	r := &Results{
+		Cycles:     s.endTime,
+		Commits:    s.totalCommits,
+		Violations: s.totalViolations,
+		Instr:      s.committedInstr,
+		BusBytes:   s.busBytes,
+		BusBusy:    s.busBusy,
+		CommitLog:  s.commitLog,
+	}
+	for _, p := range s.procs {
+		r.Breakdown = r.Breakdown.Plus(p.breakdown)
+	}
+	return r, nil
+}

@@ -1,0 +1,349 @@
+package baseline
+
+import (
+	"scalabletcc/internal/bits"
+	"scalabletcc/internal/cache"
+	"scalabletcc/internal/mem"
+	"scalabletcc/internal/sim"
+	"scalabletcc/internal/stats"
+	"scalabletcc/internal/tid"
+	"scalabletcc/internal/verify"
+	"scalabletcc/internal/workload"
+)
+
+type procState int
+
+const (
+	stRunning procState = iota
+	stWaitLoad
+	stWaitToken
+	stBarrier
+	stDone
+)
+
+// proc is one bus-based TCC processor: execute speculatively, grab the
+// commit token, broadcast the write-set over the ordered bus.
+type proc struct {
+	sys *System
+	id  int
+
+	cache *cache.Cache
+	l1    *cache.TagArray
+
+	progPhase int
+	txIdx     int
+	ops       []workload.Op
+	opIdx     int
+
+	state      procState
+	epoch      uint64
+	txStart    sim.Time
+	missStart  sim.Time
+	commitWait sim.Time
+	pendUseful uint64
+	pendMiss   uint64
+
+	readLog map[mem.Addr]mem.Version
+
+	idleStart sim.Time
+	breakdown stats.Breakdown
+	commits   uint64
+}
+
+func newProc(s *System, id int) *proc {
+	return &proc{
+		sys:   s,
+		id:    id,
+		cache: cache.New(s.cfg.Geometry, s.cfg.L2Size, s.cfg.L2Ways),
+		l1:    cache.NewTagArray(s.cfg.Geometry, s.cfg.L1Size, s.cfg.L1Ways),
+		state: stDone,
+	}
+}
+
+func (p *proc) guard(fn func()) func() {
+	e := p.epoch
+	return func() {
+		if p.epoch == e {
+			fn()
+		}
+	}
+}
+
+func (p *proc) start() {
+	p.progPhase = 0
+	p.txIdx = 0
+	p.beginTx()
+}
+
+func (p *proc) beginTx() {
+	if p.txIdx >= p.sys.prog.TxCount(p.id, p.progPhase) {
+		p.state = stBarrier
+		p.idleStart = p.sys.kernel.Now()
+		p.sys.barrierArrive()
+		return
+	}
+	p.ops = p.sys.prog.Tx(p.id, p.progPhase, p.txIdx).Ops
+	p.startAttempt()
+}
+
+func (p *proc) startAttempt() {
+	p.state = stRunning
+	p.opIdx = 0
+	p.txStart = p.sys.kernel.Now()
+	p.pendUseful = 0
+	p.pendMiss = 0
+	p.readLog = make(map[mem.Addr]mem.Version)
+	p.step()
+}
+
+func (p *proc) step() {
+	if p.opIdx >= len(p.ops) {
+		p.beginCommit()
+		return
+	}
+	op := p.ops[p.opIdx]
+	switch op.Kind {
+	case workload.Compute:
+		p.opIdx++
+		p.pendUseful += uint64(op.Cycles)
+		p.sys.kernel.After(sim.Time(op.Cycles), p.guard(p.step))
+	case workload.Load:
+		p.doAccess(op.Addr, false)
+	case workload.Store:
+		p.doAccess(op.Addr, true)
+	}
+}
+
+// doAccess performs a load or a speculative store; misses fetch the line
+// from shared memory over the bus.
+func (p *proc) doAccess(a mem.Addr, write bool) {
+	g := p.sys.cfg.Geometry
+	base := g.Line(a)
+	w := g.WordIndex(a)
+	line := p.cache.Lookup(base)
+	if line != nil && (line.VW.Has(w) || write) {
+		lat := p.sys.cfg.L2Latency
+		if p.l1.Access(base) {
+			lat = p.sys.cfg.L1Latency
+		}
+		p.finishAccess(line, w, a, write)
+		p.opIdx++
+		p.pendUseful++
+		if lat > 1 {
+			p.pendMiss += uint64(lat - 1)
+		}
+		p.sys.kernel.After(lat, p.guard(p.step))
+		return
+	}
+	// Miss: bus request + memory access + bus reply (write-allocate). The
+	// line data is captured at reply-delivery time: the ordered bus
+	// linearizes fills with commit broadcasts, so a fill can never carry
+	// data older than a commit the processor failed to snoop.
+	p.state = stWaitLoad
+	p.missStart = p.sys.kernel.Now()
+	req := 16
+	resp := 16 + p.sys.cfg.Geometry.LineSize
+	p.sys.busSend(req, p.guard(func() {
+		p.sys.kernel.After(p.sys.cfg.MemLatency, p.guard(func() {
+			p.sys.busSend(resp, p.guard(func() {
+				p.onFill(base, p.sys.memory.ReadLine(base))
+			}))
+		}))
+	}))
+}
+
+func (p *proc) onFill(base mem.Addr, data []mem.Version) {
+	g := p.sys.cfg.Geometry
+	line := p.cache.Peek(base)
+	if line == nil {
+		var victim *cache.Victim
+		line, victim = p.cache.Insert(base, data)
+		if victim != nil {
+			p.l1.Invalidate(victim.Base)
+			// Write-through commits: committed data is always in shared
+			// memory, so clean and dirty victims alike are dropped.
+		}
+	} else {
+		for w := 0; w < g.WordsPerLine(); w++ {
+			if !line.VW.Has(w) && !line.SM.Has(w) {
+				line.Data[w] = data[w]
+			}
+		}
+		line.VW = bits.All(g.WordsPerLine())
+	}
+	op := p.ops[p.opIdx]
+	w := g.WordIndex(op.Addr)
+	p.finishAccess(line, w, op.Addr, op.Kind == workload.Store)
+	p.pendMiss += uint64(p.sys.kernel.Now() - p.missStart)
+	p.pendUseful++
+	p.opIdx++
+	p.state = stRunning
+	p.sys.kernel.After(1, p.guard(p.step))
+}
+
+func (p *proc) finishAccess(line *cache.Line, w int, a mem.Addr, write bool) {
+	if write {
+		line.SM = line.SM.Set(w)
+		line.VW = line.VW.Set(w)
+		return
+	}
+	if !line.SM.Has(w) {
+		line.SR = line.SR.Set(w)
+		if _, seen := p.readLog[a]; !seen {
+			p.readLog[a] = line.Data[w]
+		}
+	}
+}
+
+// beginCommit requests the global commit token.
+func (p *proc) beginCommit() {
+	p.state = stWaitToken
+	p.commitWait = p.sys.kernel.Now()
+	p.sys.acquireToken(p)
+}
+
+// onToken holds the token: broadcast the write-set over the ordered bus,
+// write through to memory, snoop every other processor, then release.
+func (p *proc) onToken() {
+	if p.state != stWaitToken {
+		// Violated between the grant and this event: pass the token on.
+		p.sys.releaseToken()
+		return
+	}
+	g := p.sys.cfg.Geometry
+	p.sys.commitSeq++
+	seq := p.sys.commitSeq
+
+	type wline struct {
+		base  mem.Addr
+		words bits.WordMask
+	}
+	var wset []wline
+	p.cache.ForEach(func(l *cache.Line) {
+		if l.SM.Any() {
+			wset = append(wset, wline{base: l.Base, words: l.SM})
+		}
+	})
+
+	// Serialize the whole write-set over the bus: addresses + data words.
+	bytes := 16
+	for _, wl := range wset {
+		bytes += 16 + wl.words.Count()*g.WordSize
+	}
+	p.sys.busSend(bytes, func() {
+		var record *verify.Record
+		if p.sys.collectLog {
+			record = &verify.Record{
+				TID:    tid.TID(seq),
+				Proc:   p.id,
+				Reads:  p.readLog,
+				Writes: make(map[mem.Addr]mem.Version),
+			}
+		}
+		for _, wl := range wset {
+			data := make([]mem.Version, g.WordsPerLine())
+			for w := 0; w < g.WordsPerLine(); w++ {
+				if wl.words.Has(w) {
+					data[w] = seq
+					if record != nil {
+						record.Writes[g.WordAddr(wl.base, w)] = seq
+					}
+				}
+			}
+			p.sys.memory.WriteWords(wl.base, uint64(wl.words), data)
+			// Snoop: every other processor checks the broadcast against its
+			// speculative state.
+			for _, q := range p.sys.procs {
+				if q != p {
+					q.snoop(wl.base, wl.words, seq)
+				}
+			}
+		}
+		p.cache.CommitTx(seq)
+		// Write-through: no owned lines; the dirty bits are cleared.
+		p.cache.ForEach(func(l *cache.Line) { l.Dirty = false; l.OW = 0 })
+
+		if record != nil {
+			p.sys.commitLog = append(p.sys.commitLog, *record)
+		}
+		var instr uint64
+		for _, op := range p.ops {
+			if op.Kind == workload.Compute {
+				instr += uint64(op.Cycles)
+			} else {
+				instr++
+			}
+		}
+		p.breakdown.Add(stats.Useful, p.pendUseful)
+		p.breakdown.Add(stats.CacheMiss, p.pendMiss)
+		p.breakdown.Add(stats.Commit, uint64(p.sys.kernel.Now()-p.commitWait))
+		p.commits++
+		p.sys.totalCommits++
+		p.sys.committedInstr += instr
+
+		p.sys.releaseToken()
+		p.epoch++
+		p.txIdx++
+		p.sys.kernel.After(1, p.beginTx)
+	})
+}
+
+// snoop checks a committed line broadcast against this processor's
+// speculative state (the ordered bus makes this synchronous).
+func (p *proc) snoop(base mem.Addr, words bits.WordMask, seq mem.Version) {
+	line := p.cache.Peek(base)
+	if line == nil {
+		return
+	}
+	overlap := line.SR.Overlaps(words)
+	if p.sys.cfg.LineGranularity {
+		overlap = line.SR.Any() && words.Any()
+	}
+	if overlap {
+		p.cache.Invalidate(base)
+		p.l1.Invalidate(base)
+		p.violate()
+		return
+	}
+	if line.SM.Any() || line.SR.Any() {
+		line.VW = line.SM
+		return
+	}
+	p.cache.Invalidate(base)
+	p.l1.Invalidate(base)
+}
+
+func (p *proc) violate() {
+	if p.state == stBarrier || p.state == stDone {
+		return // no speculative state outside a transaction
+	}
+	now := p.sys.kernel.Now()
+	p.sys.totalViolations++
+	if p.state == stWaitToken {
+		// Abandon the pending token request by filtering ourselves out.
+		q := p.sys.tokenQueue[:0]
+		for _, w := range p.sys.tokenQueue {
+			if w != p {
+				q = append(q, w)
+			}
+		}
+		p.sys.tokenQueue = q
+	}
+	p.breakdown.Add(stats.Violation, uint64(now-p.txStart))
+	p.epoch++
+	p.cache.RollbackTx()
+	p.state = stRunning
+	p.sys.kernel.After(p.sys.cfg.ViolationRestartCost, p.guard(p.startAttempt))
+}
+
+func (p *proc) onBarrierRelease() {
+	p.breakdown.Add(stats.Idle, uint64(p.sys.kernel.Now()-p.idleStart))
+	p.progPhase++
+	p.txIdx = 0
+	if p.progPhase >= p.sys.prog.Phases() {
+		p.state = stDone
+		p.sys.procDone()
+		return
+	}
+	p.beginTx()
+}

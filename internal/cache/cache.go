@@ -1,0 +1,397 @@
+// Package cache models the private cache hierarchy of a TCC processor
+// (Figure 1b): an authoritative set-associative write-back cache holding
+// line data plus the speculative tracking bits the protocol needs —
+// per-word speculatively-read (SR) and speculatively-modified (SM) masks and
+// a per-line dirty (D) bit — fronted by a small L1 tag filter that only
+// affects timing.
+//
+// Lines with any speculative state are pinned: they must not be silently
+// evicted, or the processor would miss a violation (lost SR bits) or lose
+// uncommitted data (lost SM bits). When an allocation finds every way of a
+// set pinned, the line spills into an unbounded per-set overflow area. This
+// models the VTM/XTM-style virtualization the paper points to for the rare
+// overflow case ("recent studies have shown that with large private L2
+// caches ... it is unlikely that these overflows will occur"); spills are
+// counted so experiments can report how rare they are.
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"scalabletcc/internal/bits"
+	"scalabletcc/internal/mem"
+)
+
+// Line is one cache line with TCC speculative state.
+type Line struct {
+	Base  mem.Addr
+	Valid bool          // line present
+	VW    bits.WordMask // per-word valid bits (partial invalidation support)
+	Dirty bool          // holds committed data newer than memory (we are the owner)
+	OW    bits.WordMask // owned words: committed words memory does not have yet
+	SR    bits.WordMask // words speculatively read by the current transaction
+	SM    bits.WordMask // words speculatively modified by the current transaction
+	Data  []mem.Version // per-word versions (stand-in for data)
+	lru   uint64
+}
+
+// Speculative reports whether the line carries any transaction-local state.
+func (l *Line) Speculative() bool { return l.SR.Any() || l.SM.Any() }
+
+// Victim describes an evicted line the processor must dispose of
+// (write back if dirty, silently drop otherwise).
+type Victim struct {
+	Base  mem.Addr
+	Dirty bool
+	OW    bits.WordMask // owned words carried by the write-back
+	Data  []mem.Version
+}
+
+// Stats counts cache events for the evaluation.
+type Stats struct {
+	Hits, Misses  uint64
+	Evictions     uint64
+	DirtyEvicts   uint64
+	Spills        uint64 // allocations that overflowed to the victim area
+	MaxOverflow   int    // peak number of lines in overflow areas
+	Invalidations uint64 // lines dropped by remote invalidation
+}
+
+// Cache is the authoritative private cache (the paper's 512 KB L2).
+type Cache struct {
+	geom     mem.Geometry
+	sets     int
+	ways     int
+	lines    []Line // sets*ways, set-major
+	overflow map[mem.Addr]*Line
+	clock    uint64
+	stats    Stats
+}
+
+// New builds a cache of sizeBytes with the given associativity.
+func New(geom mem.Geometry, sizeBytes, ways int) *Cache {
+	nlines := sizeBytes / geom.LineSize
+	if ways <= 0 || nlines <= 0 || nlines%ways != 0 {
+		panic(fmt.Sprintf("cache: bad shape size=%d ways=%d line=%d", sizeBytes, ways, geom.LineSize))
+	}
+	sets := nlines / ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a power of two", sets))
+	}
+	return &Cache{
+		geom:     geom,
+		sets:     sets,
+		ways:     ways,
+		lines:    make([]Line, nlines),
+		overflow: make(map[mem.Addr]*Line),
+	}
+}
+
+// Geometry returns the cache's address geometry.
+func (c *Cache) Geometry() mem.Geometry { return c.geom }
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) setIndex(base mem.Addr) int {
+	return int(uint64(base)/uint64(c.geom.LineSize)) & (c.sets - 1)
+}
+
+func (c *Cache) set(base mem.Addr) []Line {
+	i := c.setIndex(base)
+	return c.lines[i*c.ways : (i+1)*c.ways]
+}
+
+// Lookup returns the line holding base, or nil on miss. It touches LRU state
+// and hit/miss counters.
+func (c *Cache) Lookup(base mem.Addr) *Line {
+	if l := c.Peek(base); l != nil {
+		c.clock++
+		l.lru = c.clock
+		c.stats.Hits++
+		return l
+	}
+	c.stats.Misses++
+	return nil
+}
+
+// Peek returns the line holding base without touching LRU or counters.
+func (c *Cache) Peek(base mem.Addr) *Line {
+	set := c.set(base)
+	for i := range set {
+		if set[i].Valid && set[i].Base == base {
+			return &set[i]
+		}
+	}
+	if l, ok := c.overflow[base]; ok {
+		return l
+	}
+	return nil
+}
+
+// Insert fills base with data and returns the line plus the victim it
+// displaced, if any. The caller owns disposing of the victim. Insert panics
+// if the line is already present (protocol bug).
+func (c *Cache) Insert(base mem.Addr, data []mem.Version) (*Line, *Victim) {
+	if c.Peek(base) != nil {
+		panic("cache: Insert of resident line")
+	}
+	c.clock++
+	set := c.set(base)
+	// Prefer an invalid way, then the least-recently-used non-speculative way.
+	var victim *Line
+	for i := range set {
+		l := &set[i]
+		if !l.Valid {
+			victim = l
+			break
+		}
+		if l.Speculative() {
+			continue
+		}
+		if victim == nil || l.lru < victim.lru {
+			victim = l
+		}
+	}
+	full := bits.All(c.geom.WordsPerLine())
+	if victim == nil {
+		// Every way pinned by speculative state: spill to the overflow area.
+		c.stats.Spills++
+		l := &Line{Base: base, Valid: true, VW: full, Data: cloneData(data), lru: c.clock}
+		c.overflow[base] = l
+		if len(c.overflow) > c.stats.MaxOverflow {
+			c.stats.MaxOverflow = len(c.overflow)
+		}
+		return l, nil
+	}
+	var out *Victim
+	if victim.Valid {
+		c.stats.Evictions++
+		if victim.Dirty {
+			c.stats.DirtyEvicts++
+		}
+		out = &Victim{Base: victim.Base, Dirty: victim.Dirty, OW: victim.OW, Data: victim.Data}
+	}
+	*victim = Line{Base: base, Valid: true, VW: full, Data: cloneData(data), lru: c.clock}
+	return victim, out
+}
+
+func cloneData(d []mem.Version) []mem.Version {
+	out := make([]mem.Version, len(d))
+	copy(out, d)
+	return out
+}
+
+// Invalidate drops the line holding base if present, returning it for
+// inspection (SR/SM bits decide whether the processor violates).
+func (c *Cache) Invalidate(base mem.Addr) *Line {
+	if l, ok := c.overflow[base]; ok {
+		delete(c.overflow, base)
+		c.stats.Invalidations++
+		return l
+	}
+	set := c.set(base)
+	for i := range set {
+		if set[i].Valid && set[i].Base == base {
+			c.stats.Invalidations++
+			snap := set[i]
+			set[i] = Line{}
+			return &snap
+		}
+	}
+	return nil
+}
+
+// ForEach calls fn for every valid line, including overflow lines, in a
+// deterministic order (the simulator requires bit-identical replays).
+// fn must not insert or invalidate lines.
+func (c *Cache) ForEach(fn func(l *Line)) {
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			fn(&c.lines[i])
+		}
+	}
+	for _, base := range c.overflowKeys() {
+		fn(c.overflow[base])
+	}
+}
+
+// overflowKeys returns the overflow line addresses in ascending order.
+func (c *Cache) overflowKeys() []mem.Addr {
+	if len(c.overflow) == 0 {
+		return nil
+	}
+	keys := make([]mem.Addr, 0, len(c.overflow))
+	for base := range c.overflow {
+		keys = append(keys, base)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// RollbackTx undoes the current transaction: lines with SM bits hold
+// uncommitted data and are dropped wholesale (lazy versioning makes abort a
+// bulk invalidate); SR bits are gang-cleared. Overflow lines that lose their
+// speculative state are released.
+func (c *Cache) RollbackTx() {
+	for i := range c.lines {
+		l := &c.lines[i]
+		if !l.Valid {
+			continue
+		}
+		if l.SM.Any() {
+			*l = Line{}
+			continue
+		}
+		l.SR = 0
+	}
+	for base := range c.overflow {
+		// Overflow space models scarce virtualized storage: rolled-back
+		// lines are released whether they held SM data (dropped) or only SR
+		// tracking (cleared anyway).
+		delete(c.overflow, base)
+	}
+}
+
+// CommitTx finalizes the current transaction locally: every SM word's
+// version becomes tid, SM words mark the line Dirty (this processor is now
+// the owner until write-back), and SR/SM are gang-cleared. Overflow lines
+// are drained back toward the main array opportunistically; any that cannot
+// fit are returned as victims for the processor to write back or drop.
+func (c *Cache) CommitTx(tid mem.Version) []Victim {
+	var spillOut []Victim
+	finish := func(l *Line) {
+		if l.SM.Any() {
+			for w := range l.Data {
+				if l.SM.Has(w) {
+					l.Data[w] = tid
+				}
+			}
+			// The dirty-bit rule guarantees a line is clean before it is
+			// speculatively written, so the owned words are exactly SM.
+			l.Dirty = true
+			l.OW = l.SM
+		}
+		l.SR = 0
+		l.SM = 0
+	}
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			finish(&c.lines[i])
+		}
+	}
+	for _, base := range c.overflowKeys() {
+		l := c.overflow[base]
+		finish(l)
+		delete(c.overflow, base)
+		// Try to re-home the line in its set now that pins are released.
+		set := c.set(base)
+		var slot *Line
+		for i := range set {
+			if !set[i].Valid {
+				slot = &set[i]
+				break
+			}
+			if set[i].Speculative() {
+				continue
+			}
+			if slot == nil || set[i].lru < slot.lru {
+				slot = &set[i]
+			}
+		}
+		if slot == nil || slot.Speculative() {
+			spillOut = append(spillOut, Victim{Base: l.Base, Dirty: l.Dirty, OW: l.OW, Data: l.Data})
+			continue
+		}
+		if slot.Valid {
+			c.stats.Evictions++
+			if slot.Dirty {
+				c.stats.DirtyEvicts++
+			}
+			spillOut = append(spillOut, Victim{Base: slot.Base, Dirty: slot.Dirty, OW: slot.OW, Data: slot.Data})
+		}
+		*slot = *l
+	}
+	return spillOut
+}
+
+// SpeculativeLines returns how many resident lines carry SR or SM state.
+func (c *Cache) SpeculativeLines() int {
+	n := 0
+	c.ForEach(func(l *Line) {
+		if l.Speculative() {
+			n++
+		}
+	})
+	return n
+}
+
+// TagArray is the L1 timing filter: a tag-only set-associative array that
+// decides whether an access pays L1 or L2 latency. It holds no data and no
+// protocol state.
+type TagArray struct {
+	geom  mem.Geometry
+	sets  int
+	ways  int
+	tags  []mem.Addr
+	valid []bool
+	lru   []uint64
+	clock uint64
+}
+
+// NewTagArray builds an L1 filter of sizeBytes.
+func NewTagArray(geom mem.Geometry, sizeBytes, ways int) *TagArray {
+	nlines := sizeBytes / geom.LineSize
+	if ways <= 0 || nlines <= 0 || nlines%ways != 0 {
+		panic(fmt.Sprintf("cache: bad L1 shape size=%d ways=%d", sizeBytes, ways))
+	}
+	sets := nlines / ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: L1 set count %d not a power of two", sets))
+	}
+	return &TagArray{
+		geom:  geom,
+		sets:  sets,
+		ways:  ways,
+		tags:  make([]mem.Addr, nlines),
+		valid: make([]bool, nlines),
+		lru:   make([]uint64, nlines),
+	}
+}
+
+// Access reports whether base hits, inserting it (evicting LRU) on miss.
+func (t *TagArray) Access(base mem.Addr) bool {
+	t.clock++
+	si := int(uint64(base)/uint64(t.geom.LineSize)) & (t.sets - 1)
+	lo := si * t.ways
+	vi := lo
+	for i := lo; i < lo+t.ways; i++ {
+		if t.valid[i] && t.tags[i] == base {
+			t.lru[i] = t.clock
+			return true
+		}
+		if !t.valid[vi] {
+			continue // keep first invalid slot as victim
+		}
+		if !t.valid[i] || t.lru[i] < t.lru[vi] {
+			vi = i
+		}
+	}
+	t.tags[vi] = base
+	t.valid[vi] = true
+	t.lru[vi] = t.clock
+	return false
+}
+
+// Invalidate drops base from the filter if present.
+func (t *TagArray) Invalidate(base mem.Addr) {
+	si := int(uint64(base)/uint64(t.geom.LineSize)) & (t.sets - 1)
+	lo := si * t.ways
+	for i := lo; i < lo+t.ways; i++ {
+		if t.valid[i] && t.tags[i] == base {
+			t.valid[i] = false
+			return
+		}
+	}
+}

@@ -1,0 +1,629 @@
+package core
+
+import (
+	"fmt"
+
+	"scalabletcc/internal/bits"
+	"scalabletcc/internal/mem"
+	"scalabletcc/internal/sim"
+	"scalabletcc/internal/stats"
+	"scalabletcc/internal/tid"
+)
+
+// dirEntry is the directory state for one cache line homed at this node
+// (Figure 4): the speculative sharers list, the owner (a committer whose
+// data has not yet been written back), the Marked bit for the in-flight
+// commit, and the TID tag that resolves the unordered-network write-back
+// race.
+type dirEntry struct {
+	sharers    bits.NodeSet
+	owner      int           // node holding committed data newer than memory; -1 none
+	ownerTID   tid.TID       // TID of the commit that produced the owned data
+	ownedWords bits.WordMask // the words whose latest data lives at the owner
+	marked     bool
+	markWords  bits.WordMask
+	markData   []mem.Version // write-through commit mode only
+	// pendingFrom lists nodes whose committed data is known to be in flight
+	// toward memory (owner flushes for load forwarding, commit-time
+	// ownership-transfer flushes, or the write-backs that substitute for
+	// either when the owner evicted first). While non-empty, loads must not
+	// be served from memory: it may lack committed words.
+	pendingFrom []int
+	pendingData int // == len(pendingFrom); kept for the deadlock report
+}
+
+// expectDataFrom records that node owes this line's memory a data return
+// (flush response or write-back). At most one expectation per node: a node
+// holds at most one dirty copy, which produces exactly one data return.
+func (e *dirEntry) expectDataFrom(node int) {
+	for _, n := range e.pendingFrom {
+		if n == node {
+			return
+		}
+	}
+	e.pendingFrom = append(e.pendingFrom, node)
+	e.pendingData = len(e.pendingFrom)
+}
+
+// dataArrivedFrom retires node's expectation, if any.
+func (e *dirEntry) dataArrivedFrom(node int) {
+	for i, n := range e.pendingFrom {
+		if n == node {
+			e.pendingFrom = append(e.pendingFrom[:i], e.pendingFrom[i+1:]...)
+			e.pendingData = len(e.pendingFrom)
+			return
+		}
+	}
+}
+
+// dataPending reports whether committed data is still in flight to memory.
+func (e *dirEntry) dataPending() bool { return len(e.pendingFrom) > 0 }
+
+func (e *dirEntry) hasRemoteSharer(home int) bool {
+	remote := false
+	e.sharers.ForEach(func(n int) {
+		if n != home {
+			remote = true
+		}
+	})
+	return remote || (e.owner >= 0 && e.owner != home)
+}
+
+type pendingProbe struct {
+	t     tid.TID
+	write bool
+	from  int
+}
+
+type pendingLoad struct {
+	addr   mem.Addr
+	from   int
+	reqTID tid.TID
+}
+
+// DirStats are the per-directory counters behind Table 3's directory
+// columns.
+type DirStats struct {
+	DirCacheMisses  uint64 // bounded-directory-cache misses
+	CommitsServiced uint64
+	SkipsProcessed  uint64
+	AbortsProcessed uint64
+	LoadsServiced   uint64
+	LoadsStalled    uint64 // loads that hit a Marked line and had to wait
+	Forwards        uint64 // loads served by an owner flush
+	WriteBacks      uint64
+	DroppedWBs      uint64 // stale write-backs dropped by the TID-tag race fix
+	Invalidations   uint64
+	BusyCycles      uint64
+}
+
+// Directory is one node's directory controller plus its local memory bank.
+type Directory struct {
+	sys  *System
+	node int
+
+	nstid tid.TID
+	// done[i] set means TID (nstid + i) has been fully accounted at this
+	// directory (skipped, aborted, or committed). Bit 0 being set triggers
+	// the Skip-Vector shift of Figure 5.
+	done bits.BitVec
+
+	entries map[mem.Addr]*dirEntry
+	memory  *mem.Memory
+
+	markedLines      []mem.Addr // lines marked by the currently-serviced TID
+	markOwner        int        // processor that sent the current marks
+	commitBusy       bool       // Commit received; acks/flushes outstanding
+	commitAcks       int        // outstanding invalidation acknowledgements
+	commitFlushes    int        // outstanding old-owner flush-invalidates
+	pendingCommitTID tid.TID
+
+	probes   []pendingProbe
+	stalled  map[mem.Addr][]pendingLoad
+	nextFree sim.Time // occupancy: the directory pipeline's next free cycle
+
+	// Directory-cache model: LRU over entry addresses when DirCacheEntries
+	// is bounded. A miss costs an extra MemLatency of occupancy (the full
+	// directory lives in DRAM).
+	dirCacheLRU   map[mem.Addr]uint64
+	dirCacheClock uint64
+
+	remoteEntries int
+
+	stats   DirStats
+	occHist stats.Histogram // busy cycles per serviced commit
+	wsHist  stats.Histogram // working-set samples (entries w/ remote sharers)
+	curBusy uint64          // busy cycles attributed to the current commit
+}
+
+func newDirectory(sys *System, node int) *Directory {
+	return &Directory{
+		sys:     sys,
+		node:    node,
+		nstid:   1,
+		entries: make(map[mem.Addr]*dirEntry),
+		memory:  mem.NewMemory(sys.cfg.Geometry),
+		stalled: make(map[mem.Addr][]pendingLoad),
+	}
+}
+
+// NSTID returns the directory's Now Serving TID.
+func (d *Directory) NSTID() tid.TID { return d.nstid }
+
+// Stats returns a copy of the directory's counters.
+func (d *Directory) Stats() DirStats { return d.stats }
+
+// entry returns (allocating) the directory entry for a line base, charging
+// a directory-cache miss when the bounded cache does not hold it.
+func (d *Directory) entry(base mem.Addr) *dirEntry {
+	e, ok := d.entries[base]
+	if !ok {
+		e = &dirEntry{owner: -1}
+		d.entries[base] = e
+	}
+	d.touchDirCache(base)
+	return e
+}
+
+// touchDirCache models a finite directory cache: an LRU set of entry
+// addresses. A miss extends the directory pipeline's busy time by
+// MemLatency (fetching the entry from the DRAM-backed full directory).
+func (d *Directory) touchDirCache(base mem.Addr) {
+	capacity := d.sys.cfg.DirCacheEntries
+	if capacity <= 0 {
+		return
+	}
+	if d.dirCacheLRU == nil {
+		d.dirCacheLRU = make(map[mem.Addr]uint64, capacity+1)
+	}
+	d.dirCacheClock++
+	if _, hit := d.dirCacheLRU[base]; !hit {
+		d.stats.DirCacheMisses++
+		d.nextFree += d.sys.cfg.MemLatency
+		d.stats.BusyCycles += uint64(d.sys.cfg.MemLatency)
+		if len(d.dirCacheLRU) >= capacity {
+			var victim mem.Addr
+			oldest := ^uint64(0)
+			for a, t := range d.dirCacheLRU {
+				if t < oldest {
+					oldest, victim = t, a
+				}
+			}
+			delete(d.dirCacheLRU, victim)
+		}
+	}
+	d.dirCacheLRU[base] = d.dirCacheClock
+}
+
+// busy serializes directory work: fn runs when the directory pipeline is
+// free, and occupies it for cost cycles. This models the directory-cache
+// occupancy and queuing of the paper's methodology.
+func (d *Directory) busy(cost sim.Time, fn func()) {
+	k := d.sys.kernel
+	start := k.Now()
+	if d.nextFree > start {
+		start = d.nextFree
+	}
+	d.nextFree = start + cost
+	d.stats.BusyCycles += uint64(cost)
+	d.curBusy += uint64(cost)
+	k.At(start+cost, fn)
+}
+
+// trackRemote updates the remote-working-set counter around a mutation of e.
+func (d *Directory) trackRemote(e *dirEntry, mutate func()) {
+	before := e.hasRemoteSharer(d.node)
+	mutate()
+	after := e.hasRemoteSharer(d.node)
+	switch {
+	case !before && after:
+		d.remoteEntries++
+	case before && !after:
+		d.remoteEntries--
+	}
+}
+
+// ---------------------------------------------------------------------------
+// TID accounting: the NSTID register and Skip Vector.
+
+// noteDone records that TID t has been fully accounted at this directory and
+// advances NSTID as far as the Skip Vector allows.
+func (d *Directory) noteDone(t tid.TID) {
+	if t < d.nstid {
+		panic(fmt.Sprintf("dir %d: duplicate completion of TID %d (NSTID %d)", d.node, t, d.nstid))
+	}
+	d.done.Set(int(t - d.nstid))
+	d.tryAdvance()
+}
+
+func (d *Directory) tryAdvance() {
+	if d.commitBusy {
+		return
+	}
+	n := d.done.LeadingOnes()
+	if n == 0 {
+		return
+	}
+	d.done.ShiftOutLow(n)
+	d.nstid += tid.TID(n)
+	d.answerProbes()
+}
+
+// answerProbes responds to deferred probes whose condition is now met
+// (NSTID >= probed TID). A write probe for a TID the directory has already
+// passed belongs to an aborted attempt; it is answered anyway and the
+// processor discards it by matching the probe's TID.
+func (d *Directory) answerProbes() {
+	if len(d.probes) == 0 {
+		return
+	}
+	keep := d.probes[:0]
+	for _, p := range d.probes {
+		if d.nstid >= p.t {
+			d.respondProbe(p)
+		} else {
+			keep = append(keep, p)
+		}
+	}
+	d.probes = keep
+}
+
+func (d *Directory) respondProbe(p pendingProbe) {
+	nstid := d.nstid
+	probed := p.t
+	d.sys.tracef("dir%d answers p%d's probe for T%d: NSTID=%d", d.node, p.from, probed, nstid)
+	d.sys.send(d.node, p.from, MsgProbeResp, func() {
+		d.sys.procs[p.from].onProbeResp(d.node, probed, nstid)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Message handlers. Each is invoked from the network at arrival time and
+// passes through the occupancy pipeline.
+
+func (d *Directory) recvSkip(t tid.TID) {
+	d.busy(d.sys.cfg.DirLatency, func() {
+		d.sys.tracef("dir%d skip T%d (NSTID %d)", d.node, t, d.nstid)
+		d.stats.SkipsProcessed++
+		d.noteDone(t)
+	})
+}
+
+func (d *Directory) recvProbe(t tid.TID, write bool, from int) {
+	d.busy(d.sys.cfg.DirLatency, func() {
+		p := pendingProbe{t: t, write: write, from: from}
+		if !d.sys.cfg.DeferredProbes {
+			// Repeated-probing ablation: always answer with the current NSTID.
+			d.respondProbe(p)
+			return
+		}
+		if d.nstid >= t {
+			d.respondProbe(p)
+			return
+		}
+		d.probes = append(d.probes, p)
+	})
+}
+
+func (d *Directory) recvMark(t tid.TID, base mem.Addr, words bits.WordMask, data []mem.Version, from int) {
+	d.busy(d.sys.cfg.DirLatency, func() {
+		if t != d.nstid {
+			panic(fmt.Sprintf("dir %d: Mark for TID %d while serving %d", d.node, t, d.nstid))
+		}
+		d.sys.tracef("dir%d mark line %#x words=%#x by T%d (p%d)", d.node, base, words, t, from)
+		e := d.entry(base)
+		if !e.marked {
+			d.markedLines = append(d.markedLines, base)
+		}
+		d.markOwner = from
+		e.marked = true
+		e.markWords |= words
+		if d.sys.cfg.WriteThroughCommit && data != nil {
+			if e.markData == nil {
+				e.markData = make([]mem.Version, d.sys.cfg.Geometry.WordsPerLine())
+			}
+			for w := range data {
+				if words.Has(w) {
+					e.markData[w] = data[w]
+				}
+			}
+		}
+	})
+}
+
+func (d *Directory) recvCommit(t tid.TID, from int) {
+	cost := d.sys.cfg.DirLatency + sim.Time(len(d.markedLines))
+	d.busy(cost, func() {
+		if t != d.nstid {
+			panic(fmt.Sprintf("dir %d: Commit for TID %d while serving %d", d.node, t, d.nstid))
+		}
+		d.stats.CommitsServiced++
+		d.commitBusy = true
+		d.commitAcks = 0
+		d.commitFlushes = 0
+		d.pendingCommitTID = t
+		g := d.sys.cfg.Geometry
+
+		for _, base := range d.markedLines {
+			e := d.entry(base)
+			words := e.markWords
+			invMask := words
+			if d.sys.cfg.LineGranularity {
+				invMask = bits.All(g.WordsPerLine())
+			}
+			oldOwner, oldOW := e.owner, e.ownedWords
+			d.sys.tracef("dir%d commit T%d line %#x words=%#x sharers=%v oldOwner=%d", d.node, t, base, words, e.sharers.String(), oldOwner)
+			// Gang-upgrade Marked -> Owned; invalidate all sharers except
+			// the committer, which becomes the new owner. A displaced
+			// foreign owner gets a combined flush+invalidate so the words
+			// only it holds are salvaged into memory before the commit
+			// completes.
+			d.trackRemote(e, func() {
+				for _, s := range e.sharers.Members() {
+					if s == from {
+						continue
+					}
+					d.stats.Invalidations++
+					if s == oldOwner {
+						d.commitFlushes++
+						e.expectDataFrom(s)
+						d.sendFlushInv(s, base, t, invMask, oldOW)
+					} else {
+						d.commitAcks++
+						d.sendInv(s, base, t, invMask)
+					}
+					e.sharers.Clear(s)
+				}
+				e.marked = false
+				e.markWords = 0
+				e.sharers.Set(from)
+				e.ownerTID = t
+				if d.sys.cfg.WriteThroughCommit {
+					// Data arrived with the marks: memory is updated now and
+					// no owner is recorded.
+					d.memory.MergeMonotonic(base, uint64(words), e.markData)
+					e.markData = nil
+					e.owner = -1
+					e.ownedWords = 0
+				} else if oldOwner == from {
+					e.ownedWords |= words
+				} else {
+					e.owner = from
+					e.ownedWords = words
+				}
+			})
+			d.wakeStalled(base)
+		}
+		d.markedLines = d.markedLines[:0]
+		if d.commitAcks == 0 && d.commitFlushes == 0 {
+			d.finishCommit(t)
+		}
+		// Otherwise finishCommit runs when the last ack/flush arrives.
+	})
+}
+
+func (d *Directory) sendFlushInv(to int, base mem.Addr, committer tid.TID, words, oldOW bits.WordMask) {
+	d.sys.send(d.node, to, MsgFlushInv, func() {
+		d.sys.procs[to].onFlushInv(d.node, base, committer, words, oldOW)
+	})
+}
+
+// recvFlushInvResp completes a commit-time ownership transfer: the old
+// owner's data is merged into memory. A nil payload means the old owner's
+// data return was already in flight (as a write-back or an earlier flush
+// response), which retires the expectation instead.
+func (d *Directory) recvFlushInvResp(base mem.Addr, oldOW bits.WordMask, data []mem.Version, from int) {
+	d.busy(d.sys.cfg.DirLatency, func() {
+		e := d.entry(base)
+		if data != nil {
+			d.memory.MergeMonotonic(base, uint64(oldOW), data)
+			e.dataArrivedFrom(from)
+			if !e.dataPending() {
+				d.wakeStalled(base)
+			}
+		}
+		if !d.commitBusy || d.commitFlushes <= 0 {
+			panic(fmt.Sprintf("dir %d: unexpected FlushInvResp", d.node))
+		}
+		d.commitFlushes--
+		if d.commitAcks == 0 && d.commitFlushes == 0 {
+			d.finishCommit(d.pendingCommitTID)
+		}
+	})
+}
+
+func (d *Directory) sendInv(to int, base mem.Addr, committer tid.TID, words bits.WordMask) {
+	d.sys.send(d.node, to, MsgInv, func() {
+		d.sys.procs[to].onInv(d.node, base, committer, words)
+	})
+}
+
+func (d *Directory) recvInvAck() {
+	d.busy(1, func() {
+		if !d.commitBusy || d.commitAcks <= 0 {
+			panic(fmt.Sprintf("dir %d: unexpected InvAck", d.node))
+		}
+		d.commitAcks--
+		if d.commitAcks == 0 && d.commitFlushes == 0 {
+			d.finishCommit(d.pendingCommitTID)
+		}
+	})
+}
+
+func (d *Directory) finishCommit(t tid.TID) {
+	d.commitBusy = false
+	d.occHist.Add(d.curBusy)
+	d.curBusy = 0
+	d.wsHist.Add(uint64(d.remoteEntries))
+	d.noteDone(t)
+}
+
+// recvAbort clears the TID's marks and accounts it as skipped.
+func (d *Directory) recvAbort(t tid.TID) {
+	d.busy(d.sys.cfg.DirLatency, func() {
+		d.sys.tracef("dir%d abort T%d (NSTID %d)", d.node, t, d.nstid)
+		d.stats.AbortsProcessed++
+		if t < d.nstid {
+			panic(fmt.Sprintf("dir %d: Abort for past TID %d (NSTID %d)", d.node, t, d.nstid))
+		}
+		if t == d.nstid {
+			for _, base := range d.markedLines {
+				e := d.entry(base)
+				e.marked = false
+				e.markWords = 0
+				e.markData = nil
+				d.wakeStalled(base)
+			}
+			d.markedLines = d.markedLines[:0]
+			d.curBusy = 0
+		}
+		// If t > NSTID the directory never served t, so t has no marks here.
+		d.noteDone(t)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Loads, owner forwarding, and write-backs.
+
+func (d *Directory) recvLoad(addr mem.Addr, from int, reqTID tid.TID) {
+	d.busy(d.sys.cfg.DirLatency, func() { d.serveLoad(addr, from, reqTID, true) })
+}
+
+// serveLoad implements the load path: stall on Marked lines, forward to the
+// owner on true sharing, otherwise serve from memory.
+func (d *Directory) serveLoad(addr mem.Addr, from int, reqTID tid.TID, first bool) {
+	g := d.sys.cfg.Geometry
+	base := g.Line(addr)
+	e := d.entry(base)
+
+	stall := func() {
+		if first {
+			d.stats.LoadsStalled++
+		}
+		d.stalled[base] = append(d.stalled[base], pendingLoad{addr: addr, from: from, reqTID: reqTID})
+	}
+
+	// A load from a transaction whose TID is lower than the marking TID
+	// (the directory's NSTID) is logically earlier than the pending commit:
+	// it is entitled to the pre-commit data, and the commit's invalidation
+	// cannot violate it. Stalling it can deadlock TID ordering (the marker
+	// may be waiting for the lower TID to commit elsewhere).
+	lowerThanMark := reqTID != tid.None && reqTID < d.nstid
+
+	switch {
+	case e.marked && from != d.markOwner && !lowerThanMark:
+		// "Any processor that attempts to load a marked line will be
+		// stalled by the corresponding directory." The marking processor
+		// itself is exempt: its refill of its own marked line cannot be
+		// invalidated by its own commit, and stalling it would deadlock the
+		// commit it is trying to finish.
+		stall()
+	case e.dataPending():
+		// Committed data for this line is in flight to memory; serving now
+		// could miss it.
+		stall()
+	case e.owner >= 0 && e.owner != from:
+		// True sharing: ask the owner to flush, then serve.
+		d.stats.Forwards++
+		d.sys.tracef("dir%d load %#x from p%d: forward flush to owner %d", d.node, base, from, e.owner)
+		e.expectDataFrom(e.owner)
+		stall()
+		owner := e.owner
+		d.sys.send(d.node, owner, MsgFlushReq, func() {
+			d.sys.procs[owner].onFlushReq(d.node, base)
+		})
+	default:
+		// Includes owner == from: an owner refilling the invalid words of
+		// its partially-valid line is served from memory; the processor's
+		// fill merge never overwrites locally-valid (owned) words.
+		d.stats.LoadsServiced++
+		d.sys.tracef("dir%d serve load %#x -> p%d data=%v sharers=%v owner=%d", d.node, base, from, d.memory.ReadLine(base), e.sharers.String(), e.owner)
+		d.trackRemote(e, func() { e.sharers.Set(from) })
+		data := d.memory.ReadLine(base)
+		d.sys.kernel.After(d.sys.cfg.MemLatency, func() {
+			d.sys.send(d.node, from, MsgLoadResp, func() {
+				d.sys.procs[from].onLoadResp(base, data)
+			})
+		})
+	}
+}
+
+// wakeStalled retries the loads queued on a line.
+func (d *Directory) wakeStalled(base mem.Addr) {
+	q := d.stalled[base]
+	if len(q) == 0 {
+		return
+	}
+	delete(d.stalled, base)
+	for _, pl := range q {
+		d.serveLoad(pl.addr, pl.from, pl.reqTID, false)
+	}
+}
+
+func (d *Directory) recvFlushResp(base mem.Addr, data []mem.Version, from int) {
+	d.busy(d.sys.cfg.DirLatency, func() {
+		e := d.entry(base)
+		d.sys.tracef("dir%d flushResp %#x from p%d data=%v owner=%d", d.node, base, from, data, e.owner)
+		// Monotonic merge: stale words in the flushed line (the owner's
+		// partially-invalidated copies) can never roll memory back.
+		d.memory.MergeMonotonic(base, ^uint64(0), data)
+		if e.owner == from {
+			d.trackRemote(e, func() {
+				e.owner = -1
+				e.ownedWords = 0
+				// The flushing owner keeps its copy and remains a sharer
+				// (Table 1 "Flush: write back ... leaving it in cache"), so
+				// its SR tracking keeps working.
+			})
+		}
+		e.dataArrivedFrom(from)
+		if !e.dataPending() {
+			d.wakeStalled(base)
+		}
+	})
+}
+
+func (d *Directory) recvFlushNack(base mem.Addr, from int) {
+	d.busy(d.sys.cfg.DirLatency, func() {
+		e := d.entry(base)
+		// The owner no longer holds the line: its data return is (or was) in
+		// flight as a write-back or an earlier flush response. The recorded
+		// expectation stays until that return lands; if it already did,
+		// stalled loads can go.
+		if !e.dataPending() {
+			d.wakeStalled(base)
+		}
+	})
+}
+
+// recvWriteBack handles committed data returning to memory. remove reports
+// whether the sender dropped its copy (an eviction) or kept it (the
+// dirty-bit rule's flush before a speculative overwrite — Table 1's Flush
+// semantics), which decides whether the sender stays a sharer.
+func (d *Directory) recvWriteBack(base mem.Addr, tag tid.TID, words bits.WordMask, data []mem.Version, from int, remove bool) {
+	d.busy(d.sys.cfg.DirLatency, func() {
+		e := d.entry(base)
+		// Word-granular form of the race-elimination rule: an out-of-order
+		// stale write-back never rolls memory back; a fully-stale one is
+		// counted as dropped (the paper's TID-tag drop).
+		d.sys.tracef("dir%d WB %#x from p%d tag=%d words=%#x data=%v remove=%v", d.node, base, from, tag, words, data, remove)
+		if d.memory.MergeMonotonic(base, uint64(words), data) == 0 && e.ownerTID > tag {
+			d.stats.DroppedWBs++
+		} else {
+			d.stats.WriteBacks++
+		}
+		d.trackRemote(e, func() {
+			if e.owner == from && tag >= e.ownerTID {
+				e.owner = -1
+				e.ownedWords = 0
+			}
+			if remove {
+				e.sharers.Clear(from)
+			}
+		})
+		e.dataArrivedFrom(from)
+		if !e.dataPending() {
+			d.wakeStalled(base)
+		}
+	})
+}

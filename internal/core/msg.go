@@ -1,0 +1,183 @@
+package core
+
+import "scalabletcc/internal/mesh"
+
+// MsgKind enumerates the coherence messages of the Scalable TCC protocol —
+// the paper's Table 1, plus the two replies and the negative flush response
+// an executable implementation needs to spell out.
+type MsgKind int
+
+// The protocol message vocabulary.
+const (
+	MsgLoadReq      MsgKind = iota // load a cache line from its home directory
+	MsgLoadResp                    // line data back to the requester
+	MsgTIDReq                      // request a Transaction Identifier
+	MsgTIDResp                     // TID back to the requester
+	MsgSkip                        // instructs a directory to skip a given TID
+	MsgProbe                       // probe for a directory's Now Serving TID
+	MsgProbeResp                   // NSTID back to the prober
+	MsgMark                        // marks a line intended to be committed
+	MsgCommit                      // instructs a directory to commit marked lines
+	MsgAbort                       // instructs a directory to abort a given TID
+	MsgInv                         // invalidate a line at a sharer
+	MsgInvAck                      // invalidation acknowledgement
+	MsgWriteBack                   // write back a committed line, removing it from cache
+	MsgFlushReq                    // instructs an owner to flush a line (data request)
+	MsgFlushResp                   // flushed line data back to the directory
+	MsgFlushNack                   // owner no longer holds the line (write-back in flight)
+	MsgFlushInv                    // commit-time ownership transfer: flush + invalidate the old owner
+	MsgFlushInvResp                // old owner's data (or empty) back to the directory
+	numMsgKinds
+)
+
+// NumMsgKinds is the size of the message vocabulary.
+const NumMsgKinds = int(numMsgKinds)
+
+// String returns the Table 1 name of the message.
+func (k MsgKind) String() string {
+	switch k {
+	case MsgLoadReq:
+		return "LoadRequest"
+	case MsgLoadResp:
+		return "LoadData"
+	case MsgTIDReq:
+		return "TIDRequest"
+	case MsgTIDResp:
+		return "TID"
+	case MsgSkip:
+		return "Skip"
+	case MsgProbe:
+		return "NSTIDProbe"
+	case MsgProbeResp:
+		return "NSTID"
+	case MsgMark:
+		return "Mark"
+	case MsgCommit:
+		return "Commit"
+	case MsgAbort:
+		return "Abort"
+	case MsgInv:
+		return "Invalidate"
+	case MsgInvAck:
+		return "InvAck"
+	case MsgWriteBack:
+		return "WriteBack"
+	case MsgFlushReq:
+		return "FlushRequest"
+	case MsgFlushResp:
+		return "FlushData"
+	case MsgFlushNack:
+		return "FlushNack"
+	case MsgFlushInv:
+		return "FlushInv"
+	case MsgFlushInvResp:
+		return "FlushInvData"
+	}
+	return "MsgKind(?)"
+}
+
+// Describe returns the Table 1 description of the message.
+func (k MsgKind) Describe() string {
+	switch k {
+	case MsgLoadReq:
+		return "Load a cache line"
+	case MsgLoadResp:
+		return "Cache line data for a load"
+	case MsgTIDReq:
+		return "Request a Transaction Identifier"
+	case MsgTIDResp:
+		return "Transaction Identifier grant"
+	case MsgSkip:
+		return "Instructs a directory to skip a given TID"
+	case MsgProbe:
+		return "Probes for a Now Serving TID"
+	case MsgProbeResp:
+		return "Now Serving TID answer"
+	case MsgMark:
+		return "Marks a line intended to be committed"
+	case MsgCommit:
+		return "Instructs a directory to commit marked lines"
+	case MsgAbort:
+		return "Instructs a directory to abort a given TID"
+	case MsgInv:
+		return "Invalidates a line at a speculative sharer"
+	case MsgInvAck:
+		return "Acknowledges an invalidation"
+	case MsgWriteBack:
+		return "Write back a committed cache line, removing it from cache"
+	case MsgFlushReq:
+		return "Instructs a processor to flush a given cache line"
+	case MsgFlushResp:
+		return "Flushed cache line data"
+	case MsgFlushNack:
+		return "Owner no longer holds the line (write-back already in flight)"
+	case MsgFlushInv:
+		return "Commit-time ownership transfer: flush and invalidate the previous owner"
+	case MsgFlushInvResp:
+		return "Previous owner's flushed data (empty if its write-back is in flight)"
+	}
+	return ""
+}
+
+// Wire-format size components (bytes). These feed the Figure 9 traffic
+// accounting; absolute values follow typical DSM header/address widths.
+const (
+	hdrBytes  = 8
+	addrBytes = 8
+	tidBytes  = 8
+	maskBytes = 8
+)
+
+// size returns the wire size of a message of kind k given the line size and
+// commit mode.
+func (c Config) size(k MsgKind) int {
+	line := c.Geometry.LineSize
+	switch k {
+	case MsgLoadReq:
+		return hdrBytes + addrBytes
+	case MsgLoadResp:
+		return hdrBytes + addrBytes + line
+	case MsgTIDReq:
+		return hdrBytes
+	case MsgTIDResp:
+		return hdrBytes + tidBytes
+	case MsgSkip, MsgProbe, MsgProbeResp, MsgCommit, MsgAbort:
+		return hdrBytes + tidBytes
+	case MsgMark:
+		if c.WriteThroughCommit {
+			return hdrBytes + addrBytes + maskBytes + line
+		}
+		return hdrBytes + addrBytes + maskBytes
+	case MsgInv:
+		return hdrBytes + addrBytes + tidBytes + maskBytes
+	case MsgInvAck:
+		return hdrBytes + addrBytes
+	case MsgWriteBack:
+		return hdrBytes + addrBytes + tidBytes + maskBytes + line
+	case MsgFlushReq:
+		return hdrBytes + addrBytes
+	case MsgFlushResp:
+		return hdrBytes + addrBytes + line
+	case MsgFlushNack:
+		return hdrBytes + addrBytes
+	case MsgFlushInv:
+		return hdrBytes + addrBytes + tidBytes + maskBytes
+	case MsgFlushInvResp:
+		return hdrBytes + addrBytes + maskBytes + line
+	}
+	panic("core: unknown message kind")
+}
+
+// class maps a message kind to its Figure 9 traffic class.
+func class(k MsgKind) mesh.Class {
+	switch k {
+	case MsgLoadReq, MsgLoadResp:
+		return mesh.ClassMiss
+	case MsgWriteBack, MsgFlushInvResp:
+		return mesh.ClassWriteBack
+	case MsgFlushReq, MsgFlushResp, MsgFlushNack:
+		return mesh.ClassShared
+	default:
+		return mesh.ClassCommit
+	}
+}

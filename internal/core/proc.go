@@ -1,0 +1,896 @@
+package core
+
+import (
+	"fmt"
+
+	"scalabletcc/internal/bits"
+	"scalabletcc/internal/cache"
+	"scalabletcc/internal/mem"
+	"scalabletcc/internal/sim"
+	"scalabletcc/internal/stats"
+	"scalabletcc/internal/tid"
+	"scalabletcc/internal/workload"
+)
+
+// procPhase is the processor's protocol state.
+type procPhase int
+
+const (
+	phRunning    procPhase = iota // executing transaction operations
+	phWaitLoad                    // stalled on a load miss
+	phValidating                  // TID / skip / probe / mark / commit
+	phBarrier                     // waiting at a phase barrier
+	phDone
+)
+
+// writeLine is one line of the write-set, grouped by home directory at
+// validation time.
+type writeLine struct {
+	base  mem.Addr
+	words bits.WordMask
+}
+
+// ProcStats are the per-processor counters the experiments aggregate.
+type ProcStats struct {
+	Breakdown      stats.Breakdown
+	Commits        uint64
+	Violations     uint64
+	CommittedInstr uint64
+	OverflowAborts uint64
+	MaxRetries     uint64 // worst attempts needed by any one transaction
+}
+
+// Processor models one TCC processor (Figure 1b): single-issue CPI-1
+// execution, a private cache hierarchy with SR/SM/dirty tracking, the
+// Sharing and Writing vectors, and the commit engine implementing the OCC
+// validation and commit phases.
+type Processor struct {
+	sys  *System
+	id   int
+	prog workload.Program
+
+	cache *cache.Cache
+	l1    *cache.TagArray
+
+	// Program position.
+	progPhase int
+	txIdx     int
+	ops       []workload.Op
+	opIdx     int
+
+	// Per-attempt execution state.
+	phase      procPhase
+	epoch      uint64 // bumped on rollback/commit; stale callbacks check it
+	txStart    sim.Time
+	missStart  sim.Time
+	missLine   mem.Addr // line base of the outstanding miss
+	pendUseful uint64
+	pendMiss   uint64
+	attempt    int
+	readLog    map[mem.Addr]mem.Version
+	sharingVec bits.NodeSet
+	writingVec bits.NodeSet
+
+	// Validation state.
+	tid          tid.TID
+	lastTID      tid.TID // most recent TID acquired; tags write-backs
+	waitingTID   bool
+	tidDisposals int  // TID grants in flight that belong to violated attempts
+	keepTID      bool // retain the early TID across the upcoming restart
+	commitStart  sim.Time
+	writeLines   map[int][]writeLine // home dir -> lines to mark
+	pendingWrite map[int]bool        // write-set dirs not yet marked
+	pendingRead  map[int]bool        // read-set dirs not yet cleared
+	writeDirs    []int
+
+	// refills tracks out-of-band line refetches issued after a partial
+	// invalidation, so the processor re-enters the sharers list for lines it
+	// still holds speculatively-read words of.
+	refills map[mem.Addr]bool
+
+	// fillsOut counts outstanding fill requests per line; fillKills marks
+	// responses that must be dropped and re-issued because an invalidation
+	// for the line overtook them (the paper's load/invalidate race: "
+	// processors could just drop that load when it arrives").
+	fillsOut  map[mem.Addr]int
+	fillKills map[mem.Addr]int
+
+	idleStart sim.Time
+	stats     ProcStats
+}
+
+func newProcessor(sys *System, id int, prog workload.Program) *Processor {
+	cfg := sys.cfg
+	return &Processor{
+		sys:       sys,
+		id:        id,
+		prog:      prog,
+		cache:     cache.New(cfg.Geometry, cfg.L2Size, cfg.L2Ways),
+		l1:        cache.NewTagArray(cfg.Geometry, cfg.L1Size, cfg.L1Ways),
+		phase:     phDone,
+		refills:   make(map[mem.Addr]bool),
+		fillsOut:  make(map[mem.Addr]int),
+		fillKills: make(map[mem.Addr]int),
+	}
+}
+
+// Stats returns a copy of the processor's counters.
+func (p *Processor) Stats() ProcStats { return p.stats }
+
+// Cache exposes the private cache for tests and cache-level statistics.
+func (p *Processor) Cache() *cache.Cache { return p.cache }
+
+// guard wraps a continuation so it dies silently if the transaction it
+// belongs to was rolled back or committed in the meantime.
+func (p *Processor) guard(fn func()) func() {
+	e := p.epoch
+	return func() {
+		if p.epoch == e {
+			fn()
+		}
+	}
+}
+
+func (p *Processor) start() {
+	p.progPhase = 0
+	p.txIdx = 0
+	p.beginTx()
+}
+
+// beginTx starts the next transaction of the program, or arrives at the
+// phase barrier when the phase's transactions are exhausted.
+func (p *Processor) beginTx() {
+	if p.txIdx >= p.prog.TxCount(p.id, p.progPhase) {
+		p.phase = phBarrier
+		p.idleStart = p.sys.kernel.Now()
+		p.sys.barrier.arrive(p.id)
+		return
+	}
+	tx := p.prog.Tx(p.id, p.progPhase, p.txIdx)
+	p.ops = tx.Ops
+	p.startAttempt()
+}
+
+// startAttempt (re)starts execution of the current transaction.
+func (p *Processor) startAttempt() {
+	p.phase = phRunning
+	p.opIdx = 0
+	p.txStart = p.sys.kernel.Now()
+	p.pendUseful = 0
+	p.pendMiss = 0
+	p.readLog = make(map[mem.Addr]mem.Version)
+	p.sharingVec.Reset()
+	p.writingVec.Reset()
+	p.writeLines = nil
+	p.pendingWrite = nil
+	p.pendingRead = nil
+	p.writeDirs = nil
+	if p.keepTID {
+		// Starvation mitigation, retry path: the early TID is retained
+		// across the restart ("a starved transaction keeps its TID at
+		// violation time"). This is sound precisely because no Skip was
+		// ever sent for it: every directory is still stalled at or below
+		// it, so the replay can only observe logically-earlier commits.
+		p.keepTID = false
+	} else {
+		p.tid = tid.None
+		if th := p.sys.cfg.StarveRetainAfter; th > 0 && p.attempt >= th && !p.waitingTID {
+			// Starvation mitigation (§3.3), entry path: a repeatedly-violated
+			// transaction requests its TID at the *start* of execution. No
+			// directory can advance past an unaccounted TID, so while this
+			// transaction runs no later transaction can commit anywhere, and
+			// once the pre-existing lower TIDs drain it is the lowest TID in
+			// the system and commits unimpeded.
+			p.requestTID()
+		}
+	}
+	p.step()
+}
+
+func (p *Processor) requestTID() {
+	p.waitingTID = true
+	p.sys.send(p.id, p.sys.vendorNode, MsgTIDReq, func() {
+		p.sys.vendorIssue(p.id)
+	})
+}
+
+// step executes operations until it must wait (compute delay, load miss) or
+// the transaction ends.
+func (p *Processor) step() {
+	if p.opIdx >= len(p.ops) {
+		p.beginValidation()
+		return
+	}
+	op := p.ops[p.opIdx]
+	switch op.Kind {
+	case workload.Compute:
+		p.opIdx++
+		p.pendUseful += uint64(op.Cycles)
+		p.sys.kernel.After(sim.Time(op.Cycles), p.guard(p.step))
+	case workload.Load:
+		p.doLoad(op.Addr)
+	case workload.Store:
+		p.doStore(op.Addr)
+	default:
+		panic("core: unknown op kind")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Loads and stores.
+
+func (p *Processor) homeOf(a mem.Addr) int { return p.sys.addrMap.Home(a, p.id) }
+
+func (p *Processor) doLoad(a mem.Addr) {
+	g := p.sys.cfg.Geometry
+	base := g.Line(a)
+	w := g.WordIndex(a)
+	home := p.homeOf(a)
+	p.sharingVec.Set(home)
+
+	line := p.cache.Lookup(base)
+	if line != nil && line.VW.Has(w) {
+		lat := p.sys.cfg.L2Latency
+		if p.l1.Access(base) {
+			lat = p.sys.cfg.L1Latency
+		}
+		p.finishLoad(line, w, a)
+		p.pendUseful++
+		if lat > 1 {
+			p.pendMiss += uint64(lat - 1)
+		}
+		p.opIdx++
+		p.sys.kernel.After(lat, p.guard(p.step))
+		return
+	}
+	// Miss (or partially invalidated line): fetch from the home directory.
+	p.issueMiss(a, home)
+}
+
+func (p *Processor) issueMiss(a mem.Addr, home int) {
+	p.phase = phWaitLoad
+	p.missStart = p.sys.kernel.Now()
+	p.missLine = p.sys.cfg.Geometry.Line(a)
+	if p.refills[p.missLine] {
+		return // an out-of-band refill of this line is already in flight
+	}
+	p.sendFill(a, home)
+}
+
+// sendFill issues one fill request and tracks it for the load/invalidate
+// race. The request carries the requester's TID (if any) so the directory
+// can serve logically-earlier loads past a marked line.
+func (p *Processor) sendFill(a mem.Addr, home int) {
+	p.fillsOut[p.sys.cfg.Geometry.Line(a)]++
+	reqTID := p.tid
+	p.sys.send(p.id, home, MsgLoadReq, func() {
+		p.sys.dirs[home].recvLoad(a, p.id, reqTID)
+	})
+}
+
+// onLoadResp completes a load or store-allocate miss: install or merge the
+// line, then resume the stalled operation. A response that does not match
+// the outstanding miss belongs to an attempt that rolled back and is
+// dropped; re-accepting a stale fill of the *same* line is safe because the
+// home directory's FIFO channel delivers any subsequent invalidation after
+// it.
+func (p *Processor) onLoadResp(base mem.Addr, data []mem.Version) {
+	if p.fillsOut[base] > 0 {
+		p.fillsOut[base]--
+	}
+	if p.fillKills[base] > 0 {
+		// An invalidation for this line overtook the fill: the data may
+		// predate the invalidating commit. Drop it and retry the fetch.
+		p.fillKills[base]--
+		if p.refills[base] || (p.phase == phWaitLoad && p.missLine == base) {
+			p.sendFill(base, p.homeOf(base))
+		}
+		return
+	}
+	isRefill := p.refills[base]
+	isDemand := p.phase == phWaitLoad && p.missLine == base
+	if !isRefill && !isDemand {
+		return // stale response from a rolled-back attempt
+	}
+	delete(p.refills, base)
+	line := p.fillLine(base, data)
+	if line == nil || !isDemand {
+		if line != nil && isRefill && p.phase == phValidating {
+			// A refill resolving during validation may have been the last
+			// thing holding the commit back.
+			p.checkCommitReady()
+		}
+		return // the fill violated the transaction, or was out-of-band only
+	}
+	g := p.sys.cfg.Geometry
+	op := p.ops[p.opIdx]
+	p.pendMiss += uint64(p.sys.kernel.Now() - p.missStart)
+	p.phase = phRunning
+	if op.Kind == workload.Load {
+		w := g.WordIndex(op.Addr)
+		p.finishLoad(line, w, op.Addr)
+		p.pendUseful++
+		p.opIdx++
+		p.sys.kernel.After(1, p.guard(p.step))
+		return
+	}
+	// Store-allocate fill: re-dispatch the store, which now hits.
+	p.sys.kernel.After(1, p.guard(p.step))
+}
+
+// fillLine installs or merges arriving line data. Merging never overwrites
+// locally-valid or SM words. Filling a word the current transaction
+// speculatively read means the original copy was invalidated after the read;
+// if the incoming version (the writer's TID) is logically earlier than this
+// transaction, the read is stale and the transaction violates — fillLine
+// then returns nil.
+func (p *Processor) fillLine(base mem.Addr, data []mem.Version) *cache.Line {
+	g := p.sys.cfg.Geometry
+	line := p.cache.Peek(base)
+	if line == nil {
+		var victim *cache.Victim
+		line, victim = p.cache.Insert(base, data)
+		p.disposeVictim(victim)
+		return line
+	}
+	violated := false
+	var conflictVersion mem.Version
+	for w := 0; w < g.WordsPerLine(); w++ {
+		// Re-validate every speculatively-read word of the line: while this
+		// processor was off the sharers list (after a partial invalidation),
+		// a commit could have changed any of them — including words that
+		// stayed locally valid or were later overwritten by SM stores.
+		if line.SR.Has(w) {
+			read := p.readLog[g.WordAddr(base, w)]
+			if data[w] != read && (p.tid == tid.None || data[w] < mem.Version(p.tid)) {
+				violated = true
+				conflictVersion = data[w]
+			}
+		}
+		if line.VW.Has(w) || line.SM.Has(w) {
+			continue
+		}
+		line.Data[w] = data[w]
+	}
+	line.VW = bits.All(g.WordsPerLine())
+	if violated {
+		p.violateOn(base, tid.TID(conflictVersion))
+		return nil
+	}
+	return line
+}
+
+// requestRefill refetches a partially-invalidated line out of band so the
+// processor re-enters the line's sharers list and keeps receiving
+// invalidations for the speculatively-read words it still tracks.
+func (p *Processor) requestRefill(base mem.Addr) {
+	if p.refills[base] || (p.phase == phWaitLoad && p.missLine == base) {
+		return
+	}
+	p.refills[base] = true
+	p.sendFill(base, p.homeOf(base))
+}
+
+// finishLoad applies the architectural effects of a load: SR tracking and
+// the read log for the serializability oracle.
+func (p *Processor) finishLoad(line *cache.Line, w int, a mem.Addr) {
+	if !line.SM.Has(w) {
+		line.SR = line.SR.Set(w)
+		if _, seen := p.readLog[a]; !seen {
+			p.readLog[a] = line.Data[w]
+			p.sys.tracef("p%d read %#x = v%d", p.id, a, line.Data[w])
+		}
+	}
+}
+
+func (p *Processor) doStore(a mem.Addr) {
+	g := p.sys.cfg.Geometry
+	base := g.Line(a)
+	w := g.WordIndex(a)
+	home := p.homeOf(a)
+	p.writingVec.Set(home)
+
+	line := p.cache.Lookup(base)
+	if line == nil {
+		// Write-allocate: fetch the line, then retry the store (the op index
+		// does not advance, so step() re-issues it after the fill).
+		p.issueMiss(a, home)
+		return
+	}
+	p.l1.Access(base)
+	if line.Dirty && !line.SM.Any() {
+		// First speculative write to a committed-dirty line: write the
+		// committed data back before overwriting it (the per-line dirty-bit
+		// rule of §3.1). The write-back is posted with Flush semantics (the
+		// line stays cached); execution continues.
+		p.writeBackData(line.Base, line.OW, line.Data, false)
+		line.Dirty = false
+		line.OW = 0
+	}
+	line.SM = line.SM.Set(w)
+	line.VW = line.VW.Set(w)
+	p.pendUseful++
+	p.opIdx++
+	p.sys.kernel.After(p.sys.cfg.L1Latency, p.guard(p.step))
+}
+
+// disposeVictim handles a line evicted by a fill: committed-dirty data is
+// written back; clean lines are dropped silently (no replacement hints).
+func (p *Processor) disposeVictim(v *cache.Victim) {
+	if v == nil {
+		return
+	}
+	p.l1.Invalidate(v.Base)
+	if v.Dirty {
+		p.writeBackData(v.Base, v.OW, v.Data, true)
+	}
+}
+
+// writeBackData posts committed data to the home directory, tagged with the
+// processor's most recent TID (the paper's write-back race fix). remove
+// reports whether the line left the cache.
+func (p *Processor) writeBackData(base mem.Addr, words bits.WordMask, data []mem.Version, remove bool) {
+	home := p.homeOf(base)
+	tag := p.lastTID
+	snap := append([]mem.Version(nil), data...)
+	p.sys.send(p.id, home, MsgWriteBack, func() {
+		p.sys.dirs[home].recvWriteBack(base, tag, words, snap, p.id, remove)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Store-miss completion shares onLoadResp: when the fill arrives, step()
+// re-dispatches the pending Store op, which now hits.
+
+// ---------------------------------------------------------------------------
+// Validation and commit (the OCC validation + commit phases).
+
+// beginValidation snapshots the write-set, then acquires a TID.
+func (p *Processor) beginValidation() {
+	p.phase = phValidating
+	p.commitStart = p.sys.kernel.Now()
+
+	// Snapshot the write-set grouped by home directory.
+	p.writeLines = make(map[int][]writeLine)
+	p.cache.ForEach(func(l *cache.Line) {
+		if !l.SM.Any() {
+			return
+		}
+		home := p.homeOf(l.Base)
+		p.writeLines[home] = append(p.writeLines[home], writeLine{base: l.Base, words: l.SM})
+	})
+	p.writeDirs = p.writeDirs[:0]
+	for d := range p.writeLines {
+		p.writeDirs = append(p.writeDirs, d)
+	}
+	sortInts(p.writeDirs)
+
+	switch {
+	case p.tid != tid.None:
+		// Early-acquired (starvation-mitigation) TID already granted.
+		p.proceedValidation()
+	case p.waitingTID:
+		// Early TID request still in flight; onTIDResp resumes validation.
+	default:
+		p.requestTID()
+	}
+}
+
+// onTIDResp delivers the granted TID. It is not epoch-guarded: a TID granted
+// to a transaction that has since violated must still be disposed of
+// (skipped everywhere or retained), or every directory would stall forever.
+func (p *Processor) onTIDResp(t tid.TID) {
+	p.lastTID = t
+	if p.tidDisposals > 0 {
+		// The requesting attempt violated while the request was in flight.
+		p.tidDisposals--
+		p.skipAll(t, nil)
+		p.sys.vendorRetire(t)
+		return
+	}
+	if !p.waitingTID {
+		panic(fmt.Sprintf("proc %d: unexpected TID response", p.id))
+	}
+	p.waitingTID = false
+	p.tid = t
+	if p.phase == phValidating {
+		p.proceedValidation()
+	}
+	// Otherwise this is an early (starvation-mitigation) grant during
+	// execution; validation picks it up in beginValidation.
+}
+
+// proceedValidation multicasts skips to all directories outside the
+// write-set, then probes the write- and read-set directories.
+func (p *Processor) proceedValidation() {
+	p.skipAll(p.tid, p.writeLines)
+
+	p.pendingWrite = make(map[int]bool, len(p.writeDirs))
+	p.pendingRead = make(map[int]bool)
+	for _, d := range p.writeDirs {
+		p.pendingWrite[d] = true
+	}
+	p.sharingVec.ForEach(func(d int) {
+		if !p.pendingWrite[d] {
+			p.pendingRead[d] = true
+		}
+	})
+
+	for _, d := range p.writeDirs {
+		p.sendProbe(d, true)
+	}
+	readDirs := make([]int, 0, len(p.pendingRead))
+	for d := range p.pendingRead {
+		readDirs = append(readDirs, d)
+	}
+	sortInts(readDirs)
+	for _, d := range readDirs {
+		p.sendProbe(d, false)
+	}
+	p.checkCommitReady()
+}
+
+// skipAll sends Skip(t) to every directory not in the write-set. exclude is
+// the write-set map (nil when disposing of an unused TID).
+func (p *Processor) skipAll(t tid.TID, exclude map[int][]writeLine) {
+	for d := 0; d < p.sys.cfg.Procs; d++ {
+		if exclude != nil {
+			if _, isWrite := exclude[d]; isWrite {
+				continue
+			}
+		}
+		dir := p.sys.dirs[d]
+		p.sys.send(p.id, d, MsgSkip, func() { dir.recvSkip(t) })
+	}
+}
+
+func (p *Processor) sendProbe(d int, write bool) {
+	dir := p.sys.dirs[d]
+	t := p.tid
+	p.sys.send(p.id, d, MsgProbe, func() { dir.recvProbe(t, write, p.id) })
+}
+
+// onProbeResp handles a directory's NSTID answer. Answers to probes sent by
+// an attempt that has since aborted carry that attempt's TID and are
+// discarded by the mismatch check.
+func (p *Processor) onProbeResp(d int, probed, nstid tid.TID) {
+	if p.phase != phValidating || p.tid == tid.None || probed != p.tid {
+		return // stale: response to an attempt that already aborted
+	}
+	if p.pendingWrite[d] {
+		switch {
+		case nstid == p.tid:
+			p.sendMarks(d)
+			delete(p.pendingWrite, d)
+			p.checkCommitReady()
+		case nstid < p.tid:
+			if p.sys.cfg.DeferredProbes {
+				panic(fmt.Sprintf("proc %d: early write-probe answer (nstid %d < tid %d)", p.id, nstid, p.tid))
+			}
+			p.reprobe(d, true)
+		default:
+			// nstid > tid for a directory we never skipped means the
+			// directory accounted our TID — only an abort can do that, and
+			// then we would not still be validating this attempt.
+			panic(fmt.Sprintf("proc %d: dir %d passed our TID %d (nstid %d)", p.id, d, p.tid, nstid))
+		}
+		return
+	}
+	if p.pendingRead[d] {
+		if nstid >= p.tid {
+			delete(p.pendingRead, d)
+			p.checkCommitReady()
+			return
+		}
+		if p.sys.cfg.DeferredProbes {
+			panic(fmt.Sprintf("proc %d: early read-probe answer", p.id))
+		}
+		p.reprobe(d, false)
+	}
+}
+
+func (p *Processor) reprobe(d int, write bool) {
+	p.sys.kernel.After(p.sys.cfg.ReprobeDelay, p.guard(func() {
+		if p.phase == phValidating {
+			p.sendProbe(d, write)
+		}
+	}))
+}
+
+// sendMarks pre-commits the write-set lines homed at directory d.
+func (p *Processor) sendMarks(d int) {
+	g := p.sys.cfg.Geometry
+	dir := p.sys.dirs[d]
+	t := p.tid
+	for _, wl := range p.writeLines[d] {
+		words := wl.words
+		if p.sys.cfg.LineGranularity {
+			words = bits.All(g.WordsPerLine())
+		}
+		var data []mem.Version
+		if p.sys.cfg.WriteThroughCommit {
+			// Ship the final committed versions with the mark.
+			line := p.cache.Peek(wl.base)
+			data = make([]mem.Version, g.WordsPerLine())
+			for w := range data {
+				if wl.words.Has(w) {
+					data[w] = mem.Version(t)
+				} else if line != nil {
+					data[w] = line.Data[w]
+				}
+			}
+		}
+		base := wl.base
+		p.sys.send(p.id, d, MsgMark, func() { dir.recvMark(t, base, words, data, p.id) })
+	}
+}
+
+func (p *Processor) checkCommitReady() {
+	if p.phase != phValidating || p.waitingTID || p.tid == tid.None {
+		return
+	}
+	if len(p.pendingWrite) != 0 || len(p.pendingRead) != 0 {
+		return
+	}
+	if len(p.refills) != 0 {
+		// An out-of-band refill is re-validating speculatively-read words of
+		// a line we were invalidated off; its answer may violate this
+		// transaction, so the commit point cannot pass yet.
+		return
+	}
+	p.doCommit()
+}
+
+// doCommit is the commit point: after it, the transaction cannot violate.
+func (p *Processor) doCommit() {
+	t := p.tid
+	p.sys.tracef("p%d COMMIT T%d writeDirs=%v reads=%d", p.id, t, p.writeDirs, len(p.readLog))
+	for _, d := range p.writeDirs {
+		dir := p.sys.dirs[d]
+		p.sys.send(p.id, d, MsgCommit, func() { dir.recvCommit(t, p.id) })
+	}
+
+	// Local finalization: committed versions, dirty/owned lines, log entry.
+	record := CommitRecord{
+		TID:   t,
+		Proc:  p.id,
+		Reads: p.readLog,
+		Writes: func() map[mem.Addr]mem.Version {
+			ws := make(map[mem.Addr]mem.Version)
+			g := p.sys.cfg.Geometry
+			for _, lines := range p.writeLines {
+				for _, wl := range lines {
+					for w := 0; w < g.WordsPerLine(); w++ {
+						if wl.words.Has(w) {
+							ws[g.WordAddr(wl.base, w)] = mem.Version(t)
+						}
+					}
+				}
+			}
+			return ws
+		}(),
+	}
+	p.sys.logCommit(record)
+
+	if p.sys.cfg.WriteThroughCommit {
+		// Data went with the marks; committed lines are clean.
+		_ = p.cache.CommitTx(mem.Version(t))
+		p.cache.ForEach(func(l *cache.Line) { l.Dirty = false })
+	} else {
+		for _, v := range p.cache.CommitTx(mem.Version(t)) {
+			vic := v
+			p.disposeVictim(&vic)
+		}
+	}
+	p.sys.vendorRetire(t)
+
+	now := p.sys.kernel.Now()
+	var instr uint64
+	for _, op := range p.ops {
+		if op.Kind == workload.Compute {
+			instr += uint64(op.Cycles)
+		} else {
+			instr++
+		}
+	}
+	p.stats.Breakdown.Add(stats.Useful, p.pendUseful)
+	p.stats.Breakdown.Add(stats.CacheMiss, p.pendMiss)
+	p.stats.Breakdown.Add(stats.Commit, uint64(now-p.commitStart))
+	p.stats.Commits++
+	p.stats.CommittedInstr += instr
+	if uint64(p.attempt) > p.stats.MaxRetries {
+		p.stats.MaxRetries = uint64(p.attempt)
+	}
+	p.sys.noteCommit(p, instr)
+
+	p.attempt = 0
+	p.tid = tid.None
+	p.epoch++
+	p.txIdx++
+	p.sys.kernel.After(1, p.beginTx)
+}
+
+// ---------------------------------------------------------------------------
+// Invalidations, violations, and rollback.
+
+// onInv handles an invalidation generated by a remote commit.
+func (p *Processor) onInv(fromDir int, base mem.Addr, committer tid.TID, words bits.WordMask) {
+	line := p.cache.Peek(base)
+
+	// Always acknowledge: the committing directory cannot advance its NSTID
+	// until all invalidations are accounted for (the race-elimination rule).
+	dir := p.sys.dirs[fromDir]
+	p.sys.send(p.id, fromDir, MsgInvAck, func() { dir.recvInvAck() })
+
+	p.killOutstandingFills(base)
+	if line == nil {
+		return
+	}
+	if line.Dirty {
+		// A committed-dirty (owned) line can only be invalidated by a later
+		// commit, which requires a fetch, which forces a flush first.
+		panic(fmt.Sprintf("proc %d: invalidation of owned line %#x", p.id, base))
+	}
+
+	p.applyInv(line, base, words, committer)
+}
+
+// killOutstandingFills marks every in-flight fill of the line as stale: an
+// invalidation overtook them, so their data may predate the invalidating
+// commit (the paper's load/invalidate race fix).
+func (p *Processor) killOutstandingFills(base mem.Addr) {
+	if n := p.fillsOut[base]; n > 0 {
+		p.fillKills[base] = n
+	}
+}
+
+// applyInv implements the invalidation-receipt policy shared by Inv and
+// FlushInv: violate on a conflicting read, otherwise drop every word except
+// the uncommitted (SM) ones. The directory removed us from the sharers
+// list, so if the line still tracks speculatively-read words we refetch it
+// out of band to regain invalidation coverage for them.
+func (p *Processor) applyInv(line *cache.Line, base mem.Addr, words bits.WordMask, committer tid.TID) {
+	p.sys.tracef("p%d inv %#x words=%#x committer=T%d SR=%#x SM=%#x tid=%d", p.id, base, words, committer, line.SR, line.SM, p.tid)
+	overlap := line.SR.Overlaps(words)
+	if p.sys.cfg.LineGranularity {
+		overlap = line.SR.Any() && words.Any()
+	}
+	if overlap && (p.tid == tid.None || committer < p.tid) {
+		// The invalidation takes effect regardless: the directory removed us
+		// from the sharers list, so a stale copy must not survive the
+		// rollback.
+		p.cache.Invalidate(base)
+		p.l1.Invalidate(base)
+		p.violateOn(base, committer)
+		return
+	}
+	if line.SM.Any() || line.SR.Any() {
+		line.VW = line.SM
+		// Speculatively-read words need continued invalidation coverage
+		// until it is certain no lower-TID transaction can still commit at
+		// this directory — i.e. unless the committer's TID already exceeds
+		// ours. The refill's version check (fillLine) covers the
+		// re-registration window.
+		if line.SR.Any() && (p.tid == tid.None || committer < p.tid) {
+			p.requestRefill(base)
+		}
+		return
+	}
+	p.cache.Invalidate(base)
+	p.l1.Invalidate(base)
+}
+
+// violateOn aborts the current attempt, attributing the conflict to the
+// line and committer that caused it (TAPE profiling), then notifies
+// directories as needed, rolls back the cache, accounts the wasted time,
+// and restarts.
+func (p *Processor) violateOn(cause mem.Addr, committer tid.TID) {
+	now := p.sys.kernel.Now()
+	if p.sys.tape != nil {
+		p.sys.tape.RecordViolation(cause, p.id, committer, uint64(now-p.txStart))
+		p.sys.tape.RecordStreak(p.id, uint64(p.attempt)+1)
+	}
+	p.sys.tracef("p%d VIOLATE phase=%d tid=%d", p.id, p.phase, p.tid)
+	p.stats.Violations++
+	p.attempt++
+	p.sys.noteViolation(p)
+
+	switch {
+	case p.waitingTID:
+		// A TID grant is in flight (normal or early); dispose of it on
+		// arrival.
+		p.tidDisposals++
+		p.waitingTID = false
+	case p.tid == tid.None:
+		// Violated during execution with no TID: nothing to account for.
+	case p.phase == phValidating:
+		// Skips already went to the non-write-set directories; the
+		// write-set directories need an Abort to clear any marks and
+		// account for the TID.
+		t := p.tid
+		for _, d := range p.writeDirs {
+			dir := p.sys.dirs[d]
+			p.sys.send(p.id, d, MsgAbort, func() { dir.recvAbort(t) })
+		}
+		p.sys.vendorRetire(t)
+	default:
+		// An early (starvation-mitigation) TID was granted and validation
+		// never started: no directory has heard anything about it, so it can
+		// be retained across the restart, preserving this transaction's
+		// priority.
+		p.keepTID = true
+	}
+
+	p.stats.Breakdown.Add(stats.Violation, uint64(now-p.txStart))
+	p.epoch++
+	p.cache.RollbackTx()
+	p.phase = phRunning
+	if !p.keepTID {
+		p.tid = tid.None
+	}
+	p.sys.kernel.After(p.sys.cfg.ViolationRestartCost, p.guard(p.startAttempt))
+}
+
+// onFlushReq serves a directory's data request for an owned line: flush the
+// committed data back, keep the line cached (clean), and remain a sharer.
+func (p *Processor) onFlushReq(fromDir int, base mem.Addr) {
+	dir := p.sys.dirs[fromDir]
+	line := p.cache.Peek(base)
+	if line == nil || !line.Dirty {
+		// The line was evicted (write-back in flight) or already flushed.
+		p.sys.send(p.id, fromDir, MsgFlushNack, func() { dir.recvFlushNack(base, p.id) })
+		return
+	}
+	line.Dirty = false
+	line.OW = 0
+	snap := append([]mem.Version(nil), line.Data...)
+	p.sys.send(p.id, fromDir, MsgFlushResp, func() { dir.recvFlushResp(base, snap, p.id) })
+}
+
+// onFlushInv handles a commit-time ownership transfer: a later transaction
+// committed this line while we held its previous committed data. Behaves
+// like an invalidation for conflict detection, and additionally returns the
+// owned words so the directory can salvage them into memory.
+func (p *Processor) onFlushInv(fromDir int, base mem.Addr, committer tid.TID, words, oldOW bits.WordMask) {
+	dir := p.sys.dirs[fromDir]
+	line := p.cache.Peek(base)
+
+	var data []mem.Version
+	if line != nil && line.Dirty {
+		data = append([]mem.Version(nil), line.Data...)
+	}
+	p.sys.send(p.id, fromDir, MsgFlushInvResp, func() {
+		dir.recvFlushInvResp(base, oldOW, data, p.id)
+	})
+
+	p.killOutstandingFills(base)
+	if line == nil {
+		return
+	}
+	// The flushed data (if any) is on its way to memory; the line is no
+	// longer owned here.
+	line.Dirty = false
+	line.OW = 0
+	p.applyInv(line, base, words, committer)
+}
+
+// onBarrierRelease resumes the processor after a phase barrier.
+func (p *Processor) onBarrierRelease() {
+	p.stats.Breakdown.Add(stats.Idle, uint64(p.sys.kernel.Now()-p.idleStart))
+	p.progPhase++
+	p.txIdx = 0
+	if p.progPhase >= p.prog.Phases() {
+		p.phase = phDone
+		p.sys.procDone()
+		return
+	}
+	p.beginTx()
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

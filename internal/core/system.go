@@ -1,0 +1,339 @@
+package core
+
+import (
+	"fmt"
+
+	"scalabletcc/internal/cache"
+	"scalabletcc/internal/mem"
+	"scalabletcc/internal/mesh"
+	"scalabletcc/internal/sim"
+	"scalabletcc/internal/stats"
+	"scalabletcc/internal/tape"
+	"scalabletcc/internal/tid"
+	"scalabletcc/internal/verify"
+	"scalabletcc/internal/workload"
+)
+
+// CommitRecord is the per-transaction footprint fed to the serializability
+// oracle.
+type CommitRecord = verify.Record
+
+// System is an assembled Scalable TCC machine: one node per processor, each
+// with a TCC processor, a private cache hierarchy, a directory slice with
+// its memory bank, all connected by a 2-D mesh; node 0 hosts the global TID
+// vendor.
+type System struct {
+	cfg     Config
+	kernel  *sim.Kernel
+	net     *mesh.Network
+	addrMap *mem.Map
+	procs   []*Processor
+	dirs    []*Directory
+	barrier *barrier
+
+	vendor     *tid.Vendor
+	vendorNode int
+
+	prog    workload.Program
+	running int
+
+	collectLog bool
+	commitLog  []CommitRecord
+
+	// Trace, when non-nil, receives a line per protocol event (debugging).
+	Trace func(format string, args ...any)
+
+	// tape, when non-nil, attributes violations to the lines and committers
+	// that caused them (§3.3's TAPE profiling environment).
+	tape *tape.Profiler
+
+	// msgCounts tallies every protocol message sent, by kind.
+	msgCounts [NumMsgKinds]uint64
+
+	// Aggregate measurement (Table 3 / Figures 6-9).
+	totalCommits    uint64
+	totalViolations uint64
+	committedInstr  uint64
+	txInstrH        stats.Histogram
+	rdSetH          stats.Histogram // bytes
+	wrSetH          stats.Histogram // bytes
+	dirsTouchedH    stats.Histogram
+	endTime         sim.Time
+}
+
+// NewSystem builds a machine running prog under cfg.
+func NewSystem(cfg Config, prog workload.Program) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if prog.Procs() != cfg.Procs {
+		return nil, fmt.Errorf("core: program built for %d procs, config has %d", prog.Procs(), cfg.Procs)
+	}
+	s := &System{
+		cfg:        cfg,
+		kernel:     &sim.Kernel{},
+		addrMap:    mem.NewMap(cfg.Geometry, cfg.Procs),
+		vendor:     tid.NewVendor(),
+		vendorNode: 0,
+		prog:       prog,
+	}
+	s.net = mesh.New(s.kernel, cfg.Procs, cfg.Mesh)
+	s.barrier = &barrier{sys: s}
+	s.dirs = make([]*Directory, cfg.Procs)
+	s.procs = make([]*Processor, cfg.Procs)
+	for i := 0; i < cfg.Procs; i++ {
+		s.dirs[i] = newDirectory(s, i)
+		s.procs[i] = newProcessor(s, i, prog)
+	}
+	prog.PreMap(s.addrMap)
+	return s, nil
+}
+
+// CollectCommitLog enables commit-footprint logging for the serializability
+// oracle (memory-heavy; off by default).
+func (s *System) CollectCommitLog(on bool) { s.collectLog = on }
+
+// EnableTape attaches a TAPE conflict profiler and returns it. Must be
+// called before Run.
+func (s *System) EnableTape() *tape.Profiler {
+	if s.tape == nil {
+		s.tape = tape.New()
+	}
+	return s.tape
+}
+
+// Tape returns the attached profiler, or nil.
+func (s *System) Tape() *tape.Profiler { return s.tape }
+
+// Kernel exposes the simulation kernel (tests drive partial runs with it).
+func (s *System) Kernel() *sim.Kernel { return s.kernel }
+
+// Directory returns node i's directory controller.
+func (s *System) Directory(i int) *Directory { return s.dirs[i] }
+
+// Processor returns node i's processor.
+func (s *System) Processor(i int) *Processor { return s.procs[i] }
+
+// tracef emits a protocol-trace line when tracing is enabled.
+func (s *System) tracef(format string, args ...any) {
+	if s.Trace != nil {
+		s.Trace("[%d] "+format, append([]any{s.kernel.Now()}, args...)...)
+	}
+}
+
+// send routes a protocol message of the given kind through the mesh.
+func (s *System) send(src, dst int, kind MsgKind, deliver func()) {
+	s.msgCounts[kind]++
+	s.net.Send(src, dst, s.cfg.size(kind), class(kind), deliver)
+}
+
+// vendorIssue services a TID request arriving at the vendor node.
+func (s *System) vendorIssue(requester int) {
+	t := s.vendor.Issue(requester)
+	s.tracef("vendor grants T%d to p%d", t, requester)
+	s.send(s.vendorNode, requester, MsgTIDResp, func() {
+		s.procs[requester].onTIDResp(t)
+	})
+}
+
+func (s *System) vendorRetire(t tid.TID) { s.vendor.Retire(t) }
+
+func (s *System) logCommit(r CommitRecord) {
+	if s.collectLog {
+		s.commitLog = append(s.commitLog, r)
+	}
+}
+
+// noteCommit aggregates the Table 3 fingerprint of a committed transaction.
+func (s *System) noteCommit(p *Processor, instr uint64) {
+	s.totalCommits++
+	s.committedInstr += instr
+	s.txInstrH.Add(instr)
+	s.rdSetH.Add(uint64(len(p.readLog) * s.cfg.Geometry.WordSize))
+	var wrWords int
+	touched := map[int]bool{}
+	for d, lines := range p.writeLines {
+		touched[d] = true
+		for _, wl := range lines {
+			wrWords += wl.words.Count()
+		}
+	}
+	p.sharingVec.ForEach(func(d int) { touched[d] = true })
+	s.wrSetH.Add(uint64(wrWords * s.cfg.Geometry.WordSize))
+	s.dirsTouchedH.Add(uint64(len(touched)))
+}
+
+func (s *System) noteViolation(*Processor) { s.totalViolations++ }
+
+func (s *System) procDone() { s.running-- }
+
+// barrier is the inter-phase barrier manager; idle time is accounted at the
+// waiting processors.
+type barrier struct {
+	sys     *System
+	arrived int
+}
+
+func (b *barrier) arrive(int) {
+	b.arrived++
+	if b.arrived < b.sys.cfg.Procs {
+		return
+	}
+	b.arrived = 0
+	for _, p := range b.sys.procs {
+		proc := p
+		b.sys.kernel.After(1, proc.onBarrierRelease)
+	}
+}
+
+// Results summarizes a completed run.
+type Results struct {
+	Cycles sim.Time
+
+	Breakdown  stats.Breakdown // aggregate over processors
+	PerProc    []ProcStats
+	Commits    uint64
+	Violations uint64
+	Instr      uint64 // committed instructions
+
+	Traffic mesh.Stats
+
+	// Table 3 fingerprint (90th percentiles).
+	TxInstrP90       uint64
+	RdSetBytesP90    uint64
+	WrSetBytesP90    uint64
+	DirsPerCommitP90 uint64
+	DirOccupancyP90  uint64 // busy cycles per serviced commit
+	DirWorkingSetP90 uint64 // entries with remote sharers
+
+	// Substrate health.
+	CacheStats     cache.Stats // summed over processors
+	DroppedWBs     uint64
+	StalledLoads   uint64
+	Forwards       uint64
+	DirCacheMisses uint64
+
+	// MsgCounts tallies every protocol message sent, indexed by MsgKind —
+	// the Table 1 vocabulary as observed counts.
+	MsgCounts [NumMsgKinds]uint64
+
+	CommitLog []CommitRecord
+}
+
+// Speedup returns base's cycle count divided by r's.
+func (r *Results) Speedup(base *Results) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(r.Cycles)
+}
+
+// BytesPerInstr returns total remote traffic per committed instruction, the
+// Figure 9 metric.
+func (r *Results) BytesPerInstr() float64 {
+	if r.Instr == 0 {
+		return 0
+	}
+	return float64(r.Traffic.TotalBytes()) / float64(r.Instr)
+}
+
+// ClassBytesPerInstr returns one traffic class per committed instruction.
+func (r *Results) ClassBytesPerInstr(c mesh.Class) float64 {
+	if r.Instr == 0 {
+		return 0
+	}
+	return float64(r.Traffic.BytesByClass[c]) / float64(r.Instr)
+}
+
+// Run executes the program to completion and gathers results. It fails if
+// the watchdog expires or the simulation wedges (an event-drained kernel
+// with unfinished processors indicates a protocol deadlock).
+func (s *System) Run() (*Results, error) {
+	s.running = s.cfg.Procs
+	for _, p := range s.procs {
+		proc := p
+		s.kernel.At(0, proc.start)
+	}
+	for s.kernel.Pending() > 0 {
+		if s.cfg.MaxCycles > 0 && s.kernel.Now() > s.cfg.MaxCycles {
+			return nil, fmt.Errorf("core: watchdog expired at cycle %d (%d procs still running)",
+				s.kernel.Now(), s.running)
+		}
+		s.kernel.Step()
+	}
+	if s.running != 0 {
+		return nil, fmt.Errorf("core: deadlock — event queue drained with %d processors unfinished\n%s",
+			s.running, s.deadlockReport())
+	}
+	if n := s.vendor.Outstanding(); n != 0 {
+		return nil, fmt.Errorf("core: %d TIDs issued but never retired", n)
+	}
+	s.endTime = s.kernel.Now()
+	return s.results(), nil
+}
+
+// deadlockReport renders processor and directory state for debugging a
+// wedged simulation.
+func (s *System) deadlockReport() string {
+	out := ""
+	for _, p := range s.procs {
+		out += fmt.Sprintf("  proc %d: phase=%d tid=%d waitingTID=%v pendW=%v pendR=%v refills=%d fillsOut=%v opIdx=%d/%d tx=%d.%d attempt=%d\n",
+			p.id, p.phase, p.tid, p.waitingTID, p.pendingWrite, p.pendingRead,
+			len(p.refills), p.fillsOut, p.opIdx, len(p.ops), p.progPhase, p.txIdx, p.attempt)
+	}
+	for _, d := range s.dirs {
+		out += fmt.Sprintf("  dir %d: nstid=%d commitBusy=%v acks=%d flushes=%d probes=%d stalled=%d doneBits=%d\n",
+			d.node, d.nstid, d.commitBusy, d.commitAcks, d.commitFlushes,
+			len(d.probes), len(d.stalled), d.done.PopCount())
+	}
+	return out
+}
+
+func (s *System) results() *Results {
+	r := &Results{
+		MsgCounts:  s.msgCounts,
+		Cycles:     s.endTime,
+		Commits:    s.totalCommits,
+		Violations: s.totalViolations,
+		Instr:      s.committedInstr,
+		Traffic:    s.net.Stats(),
+		CommitLog:  s.commitLog,
+
+		TxInstrP90:       s.txInstrH.Percentile(90),
+		RdSetBytesP90:    s.rdSetH.Percentile(90),
+		WrSetBytesP90:    s.wrSetH.Percentile(90),
+		DirsPerCommitP90: s.dirsTouchedH.Percentile(90),
+	}
+	for _, p := range s.procs {
+		ps := p.Stats()
+		r.PerProc = append(r.PerProc, ps)
+		r.Breakdown = r.Breakdown.Plus(ps.Breakdown)
+		cs := p.cache.Stats()
+		r.CacheStats.Hits += cs.Hits
+		r.CacheStats.Misses += cs.Misses
+		r.CacheStats.Evictions += cs.Evictions
+		r.CacheStats.DirtyEvicts += cs.DirtyEvicts
+		r.CacheStats.Spills += cs.Spills
+		r.CacheStats.Invalidations += cs.Invalidations
+		if cs.MaxOverflow > r.CacheStats.MaxOverflow {
+			r.CacheStats.MaxOverflow = cs.MaxOverflow
+		}
+	}
+	var occ, ws stats.Histogram
+	for _, d := range s.dirs {
+		ds := d.Stats()
+		r.DroppedWBs += ds.DroppedWBs
+		r.StalledLoads += ds.LoadsStalled
+		r.Forwards += ds.Forwards
+		r.DirCacheMisses += ds.DirCacheMisses
+		for _, v := range d.occHist.Values() {
+			occ.Add(v)
+		}
+		for _, v := range d.wsHist.Values() {
+			ws.Add(v)
+		}
+	}
+	r.DirOccupancyP90 = occ.Percentile(90)
+	r.DirWorkingSetP90 = ws.Percentile(90)
+	return r
+}

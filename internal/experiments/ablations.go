@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"scalabletcc/internal/core"
+	"scalabletcc/tcc"
+)
+
+// MessageTable returns the implemented protocol messages as (name,
+// description) pairs — the executable form of the paper's Table 1.
+func MessageTable() [][2]string {
+	var out [][2]string
+	for k := 0; k < core.NumMsgKinds; k++ {
+		kind := core.MsgKind(k)
+		out = append(out, [2]string{kind.String(), kind.Describe()})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// A1: serialized-commit baseline vs parallel commit.
+
+// BaselineCell compares the bus-based small-scale TCC with Scalable TCC on
+// the same workload and processor count.
+type BaselineCell struct {
+	App             string
+	Procs           int
+	ScalableCycles  uint64
+	BaselineCycles  uint64
+	ScalableSpeedup float64 // vs 1-processor scalable run
+	BaselineSpeedup float64 // vs 1-processor baseline run
+	BusBusyFraction float64 // how saturated the baseline's commit bus is
+}
+
+// BaselineComparison runs both designs across the processor sweep. With no
+// explicit app list it uses the commit-intensity spectrum: commit-bound,
+// volrend (commit-heavy), equake (communication-heavy), SPECjbb (embarrassingly
+// parallel).
+func BaselineComparison(opts Options) ([]BaselineCell, error) {
+	apps := opts.Apps
+	if len(apps) == 0 {
+		apps = []string{"commitbound", "volrend", "equake", "SPECjbb2000"}
+	}
+	var cells []BaselineCell
+	for _, app := range apps {
+		prof, ok := tcc.ProfileByName(app)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown app %q", app)
+		}
+		prof = prof.Scale(opts.scale())
+		var scalBase, busBase uint64
+		for _, procs := range opts.procs() {
+			res, err := opts.run(app, procs, nil)
+			if err != nil {
+				return nil, err
+			}
+			bcfg := tcc.DefaultBaselineConfig(procs)
+			bcfg.Seed = opts.seed()
+			bcfg.MaxCycles = 50_000_000_000
+			bres, err := tcc.RunBaseline(bcfg, prof.Build(procs, bcfg.Seed))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: baseline %s on %d procs: %w", app, procs, err)
+			}
+			if scalBase == 0 {
+				scalBase = uint64(res.Cycles)
+				busBase = uint64(bres.Cycles)
+			}
+			cells = append(cells, BaselineCell{
+				App:             app,
+				Procs:           procs,
+				ScalableCycles:  uint64(res.Cycles),
+				BaselineCycles:  uint64(bres.Cycles),
+				ScalableSpeedup: float64(scalBase) / float64(res.Cycles),
+				BaselineSpeedup: float64(busBase) / float64(bres.Cycles),
+				BusBusyFraction: float64(bres.BusBusy) / float64(bres.Cycles),
+			})
+		}
+	}
+	return cells, nil
+}
+
+// PrintBaseline renders the A1 ablation.
+func PrintBaseline(w io.Writer, cells []BaselineCell) {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Application\tCPUs\tScalable speedup\tBus-TCC speedup\tBus busy")
+	for _, c := range cells {
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.2f\t%.0f%%\n",
+			c.App, c.Procs, c.ScalableSpeedup, c.BaselineSpeedup, 100*c.BusBusyFraction)
+	}
+	tw.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// A2: word-level vs line-level conflict detection.
+
+// GranularityRow compares violation behaviour under the two speculative
+// tracking granularities of §3.1.
+type GranularityRow struct {
+	App            string
+	Procs          int
+	WordViolations uint64
+	LineViolations uint64
+	WordCycles     uint64
+	LineCycles     uint64
+	LineSlowdown   float64
+}
+
+// Granularity runs each app at opts.MaxProcs under both granularities. The
+// falseshare stress profile shows the extreme case.
+func Granularity(opts Options) ([]GranularityRow, error) {
+	apps := opts.Apps
+	if len(apps) == 0 {
+		apps = []string{"falseshare", "equake", "water-nsquared", "barnes"}
+	}
+	var rows []GranularityRow
+	for _, app := range apps {
+		word, err := opts.run(app, opts.maxProcs(), nil)
+		if err != nil {
+			return nil, err
+		}
+		line, err := opts.run(app, opts.maxProcs(), func(c *tcc.Config) { c.LineGranularity = true })
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, GranularityRow{
+			App:            app,
+			Procs:          opts.maxProcs(),
+			WordViolations: word.Violations,
+			LineViolations: line.Violations,
+			WordCycles:     uint64(word.Cycles),
+			LineCycles:     uint64(line.Cycles),
+			LineSlowdown:   float64(line.Cycles) / float64(word.Cycles),
+		})
+	}
+	return rows, nil
+}
+
+// PrintGranularity renders the A2 ablation.
+func PrintGranularity(w io.Writer, rows []GranularityRow) {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Application\tCPUs\tViolations (word)\tViolations (line)\tLine-mode slowdown")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.2fx\n",
+			r.App, r.Procs, r.WordViolations, r.LineViolations, r.LineSlowdown)
+	}
+	tw.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// A3: deferred probe responses vs repeated probing.
+
+// ProbeRow compares the §3.3 probe optimization against naive re-probing.
+type ProbeRow struct {
+	App              string
+	Procs            int
+	DeferredCycles   uint64
+	RepeatedCycles   uint64
+	RepeatedSlowdown float64
+	// Probe message counts come out in the commit-class traffic.
+	DeferredCommitBytes uint64
+	RepeatedCommitBytes uint64
+}
+
+// Probes runs commit-bound workloads under both probe policies.
+func Probes(opts Options) ([]ProbeRow, error) {
+	apps := opts.Apps
+	if len(apps) == 0 {
+		apps = []string{"commitbound", "volrend", "equake"}
+	}
+	var rows []ProbeRow
+	for _, app := range apps {
+		def, err := opts.run(app, opts.maxProcs(), nil)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := opts.run(app, opts.maxProcs(), func(c *tcc.Config) { c.RepeatedProbing = true })
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ProbeRow{
+			App:                 app,
+			Procs:               opts.maxProcs(),
+			DeferredCycles:      uint64(def.Cycles),
+			RepeatedCycles:      uint64(rep.Cycles),
+			RepeatedSlowdown:    float64(rep.Cycles) / float64(def.Cycles),
+			DeferredCommitBytes: def.Traffic.BytesByClass[0],
+			RepeatedCommitBytes: rep.Traffic.BytesByClass[0],
+		})
+	}
+	return rows, nil
+}
+
+// PrintProbes renders the A3 ablation.
+func PrintProbes(w io.Writer, rows []ProbeRow) {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Application\tCPUs\tDeferred cycles\tRepeated cycles\tSlowdown\tCommit bytes (def)\tCommit bytes (rep)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.2fx\t%d\t%d\n",
+			r.App, r.Procs, r.DeferredCycles, r.RepeatedCycles, r.RepeatedSlowdown,
+			r.DeferredCommitBytes, r.RepeatedCommitBytes)
+	}
+	tw.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// A4: write-back vs write-through commit.
+
+// WriteBackRow compares commit data movement policies.
+type WriteBackRow struct {
+	App                  string
+	Procs                int
+	WriteBackBPI         float64 // total bytes/instr, write-back commit
+	WriteThroughBPI      float64 // total bytes/instr, write-through commit
+	TrafficAmplification float64
+}
+
+// WriteBack runs each app under both commit data policies.
+func WriteBack(opts Options) ([]WriteBackRow, error) {
+	apps := opts.Apps
+	if len(apps) == 0 {
+		apps = []string{"swim", "tomcatv", "radix", "barnes"}
+	}
+	var rows []WriteBackRow
+	for _, app := range apps {
+		wb, err := opts.run(app, opts.maxProcs(), nil)
+		if err != nil {
+			return nil, err
+		}
+		wt, err := opts.run(app, opts.maxProcs(), func(c *tcc.Config) { c.WriteThroughCommit = true })
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, WriteBackRow{
+			App:                  app,
+			Procs:                opts.maxProcs(),
+			WriteBackBPI:         wb.BytesPerInstr(),
+			WriteThroughBPI:      wt.BytesPerInstr(),
+			TrafficAmplification: wt.BytesPerInstr() / wb.BytesPerInstr(),
+		})
+	}
+	return rows, nil
+}
+
+// PrintWriteBack renders the A4 ablation.
+func PrintWriteBack(w io.Writer, rows []WriteBackRow) {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Application\tCPUs\tWrite-back B/instr\tWrite-through B/instr\tAmplification")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.4f\t%.4f\t%.2fx\n",
+			r.App, r.Procs, r.WriteBackBPI, r.WriteThroughBPI, r.TrafficAmplification)
+	}
+	tw.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// A5: directory cache capacity.
+
+// DirCacheRow measures sensitivity to the directory-cache size — the
+// paper's Table 3 claim that per-application directory working sets "fit
+// comfortably" in a modest directory cache.
+type DirCacheRow struct {
+	App      string
+	Procs    int
+	Entries  int // 0 = unbounded
+	Misses   uint64
+	Cycles   uint64
+	Slowdown float64 // vs the unbounded directory cache
+}
+
+// DirCache sweeps directory-cache capacities for apps with small and large
+// directory working sets.
+func DirCache(opts Options) ([]DirCacheRow, error) {
+	apps := opts.Apps
+	if len(apps) == 0 {
+		apps = []string{"barnes", "radix", "SPECjbb2000"}
+	}
+	capacities := []int{128, 1024, 8192, 0}
+	var rows []DirCacheRow
+	for _, app := range apps {
+		var base uint64
+		// Run the unbounded configuration first for the normalization base.
+		for i := len(capacities) - 1; i >= 0; i-- {
+			entries := capacities[i]
+			res, err := opts.run(app, opts.maxProcs(), func(c *tcc.Config) {
+				c.DirCacheEntries = entries
+			})
+			if err != nil {
+				return nil, err
+			}
+			if entries == 0 {
+				base = uint64(res.Cycles)
+			}
+			rows = append(rows, DirCacheRow{
+				App:      app,
+				Procs:    opts.maxProcs(),
+				Entries:  entries,
+				Misses:   res.DirCacheMisses,
+				Cycles:   uint64(res.Cycles),
+				Slowdown: float64(res.Cycles) / float64(base),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintDirCache renders the A5 ablation.
+func PrintDirCache(w io.Writer, rows []DirCacheRow) {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Application\tCPUs\tDir-cache entries\tMisses\tSlowdown vs unbounded")
+	for _, r := range rows {
+		size := fmt.Sprintf("%d", r.Entries)
+		if r.Entries == 0 {
+			size = "unbounded"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%.2fx\n", r.App, r.Procs, size, r.Misses, r.Slowdown)
+	}
+	tw.Flush()
+}

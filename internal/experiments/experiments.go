@@ -1,0 +1,394 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4), plus the ablations DESIGN.md calls out. Each
+// experiment has a typed runner (returning rows the benchmarks and tests can
+// assert on) and a printer that emits the same row/series structure the
+// paper reports. cmd/tccbench is a thin flag wrapper around this package.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"scalabletcc/internal/mesh"
+	"scalabletcc/internal/stats"
+	"scalabletcc/tcc"
+)
+
+// Options scope an experiment run.
+type Options struct {
+	Apps         []string // profile names; nil = the paper's eleven
+	Procs        []int    // processor counts for Figure 7; nil = 1..64
+	MaxProcs     int      // processor count for Table 3 / Figures 8, 9; 0 = 64
+	Scale        float64  // workload scale factor; 0 = 1.0
+	Seed         uint64   // 0 = 1
+	Verify       bool     // run the serializability oracle on every run
+	HopLatencies []int    // Figure 8 sweep; nil = {1, 2, 4, 8}
+}
+
+func (o Options) apps() []string {
+	if len(o.Apps) > 0 {
+		return o.Apps
+	}
+	var names []string
+	for _, p := range tcc.Profiles() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+func (o Options) procs() []int {
+	if len(o.Procs) > 0 {
+		return o.Procs
+	}
+	return []int{1, 2, 4, 8, 16, 32, 64}
+}
+
+func (o Options) maxProcs() int {
+	if o.MaxProcs > 0 {
+		return o.MaxProcs
+	}
+	return 64
+}
+
+func (o Options) scale() float64 {
+	if o.Scale > 0 {
+		return o.Scale
+	}
+	return 1.0
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed != 0 {
+		return o.Seed
+	}
+	return 1
+}
+
+func (o Options) hops() []int {
+	if len(o.HopLatencies) > 0 {
+		return o.HopLatencies
+	}
+	return []int{1, 2, 4, 8}
+}
+
+// run executes one app at one processor count with optional config mutation.
+func (o Options) run(app string, procs int, mutate func(*tcc.Config)) (*tcc.Results, error) {
+	prof, ok := tcc.ProfileByName(app)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown app %q", app)
+	}
+	prof = prof.Scale(o.scale())
+	cfg := tcc.DefaultConfig(procs)
+	cfg.Seed = o.seed()
+	cfg.MaxCycles = 50_000_000_000
+	cfg.CollectCommitLog = o.Verify
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	prog := prof.Build(procs, cfg.Seed)
+	res, err := tcc.Run(cfg, prog)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s on %d procs: %w", app, procs, err)
+	}
+	if o.Verify {
+		if viols := tcc.Verify(res); len(viols) != 0 {
+			return nil, fmt.Errorf("experiments: %s on %d procs: %d serializability violations (first: %v)",
+				app, procs, len(viols), viols[0])
+		}
+	}
+	return res, nil
+}
+
+func newTab(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// BreakdownString renders a breakdown as percentage components in the
+// paper's stacking order.
+func BreakdownString(b stats.Breakdown) string {
+	return fmt.Sprintf("useful=%4.1f%% miss=%4.1f%% idle=%4.1f%% commit=%4.1f%% viol=%4.1f%%",
+		100*b.Fraction(stats.Useful), 100*b.Fraction(stats.CacheMiss),
+		100*b.Fraction(stats.Idle), 100*b.Fraction(stats.Commit),
+		100*b.Fraction(stats.Violation))
+}
+
+// ---------------------------------------------------------------------------
+// Table 1: the protocol message vocabulary.
+
+// Table1 prints the implemented coherence-message table (the paper's
+// Table 1).
+func Table1(w io.Writer) {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Message\tDescription")
+	for _, m := range MessageTable() {
+		fmt.Fprintf(tw, "%s\t%s\n", m[0], m[1])
+	}
+	tw.Flush()
+}
+
+// Table2 prints the simulated-architecture parameters (the paper's
+// Table 2).
+func Table2(w io.Writer, cfg tcc.Config) {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Feature\tDescription")
+	fmt.Fprintf(tw, "CPU\t%d single-issue cores, CPI 1.0 (plus memory stalls)\n", cfg.Procs)
+	fmt.Fprintf(tw, "L1\t%d KB, %d-byte lines, %d-way, 1-cycle latency\n", cfg.L1Size>>10, cfg.LineSize, cfg.L1Ways)
+	fmt.Fprintf(tw, "L2\t%d KB, %d-byte lines, %d-way, 6-cycle latency\n", cfg.L2Size>>10, cfg.LineSize, cfg.L2Ways)
+	fmt.Fprintf(tw, "ICN\t2-D grid, %d cycles/hop, %d B/cycle per link\n", cfg.HopLatency, cfg.LinkBytesPerCycle)
+	fmt.Fprintf(tw, "Main memory\t%d cycles latency\n", cfg.MemLatency)
+	fmt.Fprintf(tw, "Directory\tfull-bit-vector sharers, first-touch homing, %d-cycle directory cache\n", cfg.DirLatency)
+	tw.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// Table 3: application fingerprints.
+
+// Table3Row is one application's measured transactional fingerprint.
+type Table3Row struct {
+	App              string
+	TxInstrP90       uint64
+	WrSetKBP90       float64
+	RdSetKBP90       float64
+	OpsPerWordWr     float64
+	DirsPerCommitP90 uint64
+	WorkingSetP90    uint64
+	OccupancyP90     uint64
+}
+
+// Table3 measures each application's fingerprint at opts.MaxProcs (the
+// paper reports the 32-processor case).
+func Table3(opts Options) ([]Table3Row, error) {
+	procs := opts.MaxProcs
+	if procs == 0 {
+		procs = 32
+	}
+	var rows []Table3Row
+	for _, app := range opts.apps() {
+		res, err := opts.run(app, procs, nil)
+		if err != nil {
+			return nil, err
+		}
+		var wrWordsPerTx float64
+		if res.Commits > 0 {
+			wrWordsPerTx = float64(res.WrSetBytesP90) / 4
+		}
+		ops := 0.0
+		if wrWordsPerTx > 0 {
+			ops = float64(res.TxInstrP90) / wrWordsPerTx
+		}
+		rows = append(rows, Table3Row{
+			App:              app,
+			TxInstrP90:       res.TxInstrP90,
+			WrSetKBP90:       float64(res.WrSetBytesP90) / 1024,
+			RdSetKBP90:       float64(res.RdSetBytesP90) / 1024,
+			OpsPerWordWr:     ops,
+			DirsPerCommitP90: res.DirsPerCommitP90,
+			WorkingSetP90:    res.DirWorkingSetP90,
+			OccupancyP90:     res.DirOccupancyP90,
+		})
+	}
+	return rows, nil
+}
+
+// PrintTable3 renders Table 3 rows.
+func PrintTable3(w io.Writer, rows []Table3Row) {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Application\tTxSize p90\tWrSet p90\tRdSet p90\tOps/WordWr\tDirs/commit p90\tWorkingSet p90\tOccupancy p90")
+	fmt.Fprintln(tw, "\t(instr)\t(KB)\t(KB)\t\t\t(entries)\t(cycles)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.2f\t%.1f\t%d\t%d\t%d\n",
+			r.App, r.TxInstrP90, r.WrSetKBP90, r.RdSetKBP90, r.OpsPerWordWr,
+			r.DirsPerCommitP90, r.WorkingSetP90, r.OccupancyP90)
+	}
+	tw.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: single-processor execution-time breakdown.
+
+// Fig6Row is one application's 1-CPU breakdown.
+type Fig6Row struct {
+	App       string
+	Cycles    uint64
+	Breakdown stats.Breakdown
+	// CommitFraction is the only overhead a 1-CPU TCC machine adds over a
+	// conventional uniprocessor; the paper reports ~1-3%.
+	CommitFraction float64
+}
+
+// Fig6 runs every application on one processor.
+func Fig6(opts Options) ([]Fig6Row, error) {
+	var rows []Fig6Row
+	for _, app := range opts.apps() {
+		res, err := opts.run(app, 1, nil)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig6Row{
+			App:            app,
+			Cycles:         uint64(res.Cycles),
+			Breakdown:      res.Breakdown,
+			CommitFraction: res.Breakdown.Fraction(stats.Commit),
+		})
+	}
+	return rows, nil
+}
+
+// PrintFig6 renders Figure 6.
+func PrintFig6(w io.Writer, rows []Fig6Row) {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Application\tCycles\tBreakdown (normalized execution time, 1 CPU)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%s\n", r.App, r.Cycles, BreakdownString(r.Breakdown))
+	}
+	tw.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: scaling 1 -> 64 processors.
+
+// Fig7Cell is one (application, processor count) measurement.
+type Fig7Cell struct {
+	App        string
+	Procs      int
+	Cycles     uint64
+	Speedup    float64 // vs the same app on 1 processor
+	Breakdown  stats.Breakdown
+	Violations uint64
+}
+
+// Fig7 sweeps processor counts for every application; the 1-processor run
+// is the normalization base.
+func Fig7(opts Options) ([]Fig7Cell, error) {
+	var cells []Fig7Cell
+	for _, app := range opts.apps() {
+		var base *tcc.Results
+		for _, procs := range opts.procs() {
+			res, err := opts.run(app, procs, nil)
+			if err != nil {
+				return nil, err
+			}
+			if base == nil {
+				base = res
+			}
+			cells = append(cells, Fig7Cell{
+				App:        app,
+				Procs:      procs,
+				Cycles:     uint64(res.Cycles),
+				Speedup:    res.Speedup(base),
+				Breakdown:  res.Breakdown,
+				Violations: res.Violations,
+			})
+		}
+	}
+	return cells, nil
+}
+
+// PrintFig7 renders Figure 7: one row per (app, procs) with the speedup the
+// paper prints on top of each bar.
+func PrintFig7(w io.Writer, cells []Fig7Cell) {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Application\tCPUs\tSpeedup\tCycles\tBreakdown")
+	for _, c := range cells {
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%d\t%s\n",
+			c.App, c.Procs, c.Speedup, c.Cycles, BreakdownString(c.Breakdown))
+	}
+	tw.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8: communication-latency sensitivity.
+
+// Fig8Cell is one (application, cycles-per-hop) measurement at the largest
+// machine size.
+type Fig8Cell struct {
+	App       string
+	HopCycles int
+	Cycles    uint64
+	// SlowdownVsHop1 is execution time normalized to the 1-cycle-per-hop
+	// run (the paper normalizes to a single processor; the shape — who
+	// degrades and by how much — is the reproduction target).
+	SlowdownVsHop1 float64
+	Breakdown      stats.Breakdown
+}
+
+// Fig8 sweeps mesh hop latency at opts.MaxProcs processors.
+func Fig8(opts Options) ([]Fig8Cell, error) {
+	var cells []Fig8Cell
+	for _, app := range opts.apps() {
+		var base uint64
+		for _, hop := range opts.hops() {
+			h := hop
+			res, err := opts.run(app, opts.maxProcs(), func(c *tcc.Config) { c.HopLatency = h })
+			if err != nil {
+				return nil, err
+			}
+			if base == 0 {
+				base = uint64(res.Cycles)
+			}
+			cells = append(cells, Fig8Cell{
+				App:            app,
+				HopCycles:      hop,
+				Cycles:         uint64(res.Cycles),
+				SlowdownVsHop1: float64(res.Cycles) / float64(base),
+				Breakdown:      res.Breakdown,
+			})
+		}
+	}
+	return cells, nil
+}
+
+// PrintFig8 renders Figure 8.
+func PrintFig8(w io.Writer, cells []Fig8Cell) {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Application\tCycles/hop\tSlowdown vs 1 cycle/hop\tBreakdown")
+	for _, c := range cells {
+		fmt.Fprintf(tw, "%s\t%d\t%.2fx\t%s\n", c.App, c.HopCycles, c.SlowdownVsHop1, BreakdownString(c.Breakdown))
+	}
+	tw.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9: remote traffic per instruction, by class.
+
+// Fig9Row is one application's traffic decomposition at the largest machine.
+type Fig9Row struct {
+	App            string
+	CommitOverhead float64 // bytes per committed instruction
+	Miss           float64
+	WriteBack      float64
+	Shared         float64
+	Total          float64
+}
+
+// Fig9 measures per-class network traffic at opts.MaxProcs processors.
+func Fig9(opts Options) ([]Fig9Row, error) {
+	var rows []Fig9Row
+	for _, app := range opts.apps() {
+		res, err := opts.run(app, opts.maxProcs(), nil)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig9Row{
+			App:            app,
+			CommitOverhead: res.ClassBytesPerInstr(mesh.ClassCommit),
+			Miss:           res.ClassBytesPerInstr(mesh.ClassMiss),
+			WriteBack:      res.ClassBytesPerInstr(mesh.ClassWriteBack),
+			Shared:         res.ClassBytesPerInstr(mesh.ClassShared),
+			Total:          res.BytesPerInstr(),
+		})
+	}
+	return rows, nil
+}
+
+// PrintFig9 renders Figure 9.
+func PrintFig9(w io.Writer, rows []Fig9Row) {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Application\tCommitOverhead\tMiss\tWriteBack\tShared\tTotal (bytes/instr)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\n",
+			r.App, r.CommitOverhead, r.Miss, r.WriteBack, r.Shared, r.Total)
+	}
+	tw.Flush()
+}

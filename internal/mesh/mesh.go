@@ -1,0 +1,271 @@
+// Package mesh models the interconnection network of the simulated DSM
+// machine: a 2-D grid with dimension-ordered (XY) routing, per-link FIFO
+// contention, and a configurable per-hop latency — the "ICN" row of the
+// paper's Table 2. Figure 8 is produced by sweeping HopLatency.
+//
+// The model is a pipelined store-and-forward approximation: a message waits
+// for each directed link on its path to become free, occupies it for its
+// serialization time (bytes / link bandwidth), and advances one hop per
+// HopLatency cycles. This captures the two effects the evaluation cares
+// about — latency growing with distance and congestion under bursty commit
+// traffic — without flit-level detail.
+package mesh
+
+import (
+	"fmt"
+
+	"scalabletcc/internal/sim"
+)
+
+// Class labels traffic for the Figure 9 breakdown.
+type Class int
+
+// Traffic classes, matching the legend of Figure 9.
+const (
+	ClassCommit    Class = iota // TID requests, skips, probes, marks, commits, aborts, invalidations
+	ClassMiss                   // load requests and data replies
+	ClassWriteBack              // evicted committed-dirty lines returning to memory
+	ClassShared                 // owner flush forwards on true sharing
+	numClasses
+)
+
+// String returns the Figure 9 legend name for the class.
+func (c Class) String() string {
+	switch c {
+	case ClassCommit:
+		return "CommitOverhead"
+	case ClassMiss:
+		return "Miss"
+	case ClassWriteBack:
+		return "WriteBack"
+	case ClassShared:
+		return "Shared"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// NumClasses is the number of traffic classes.
+const NumClasses = int(numClasses)
+
+// Config parameterizes the network.
+type Config struct {
+	Width, Height int      // grid dimensions; Width*Height >= node count
+	HopLatency    sim.Time // cycles for a message head to traverse one link
+	LinkBytes     int      // bytes a link moves per cycle (bandwidth)
+	LocalLatency  sim.Time // latency for src == dst delivery
+	// Torus adds wraparound links in both dimensions, halving worst-case
+	// hop counts (an alternative the paper's "2-D grid" row invites
+	// exploring).
+	Torus bool
+	// Jitter, if non-nil, returns extra delivery delay for a message. It
+	// exists for fault-injection tests that break the per-pair ordering a
+	// FIFO mesh otherwise provides (the paper's "unordered interconnect"
+	// races).
+	Jitter func(src, dst, bytes int) sim.Time
+}
+
+// DefaultConfig returns the Table 2 network: 2-D grid, 3-cycle links,
+// 8 bytes/cycle per link.
+func DefaultConfig(nodes int) Config {
+	w, h := Dimensions(nodes)
+	return Config{Width: w, Height: h, HopLatency: 3, LinkBytes: 8, LocalLatency: 1}
+}
+
+// Dimensions returns near-square grid dimensions for the node count.
+func Dimensions(nodes int) (w, h int) {
+	if nodes <= 0 {
+		return 1, 1
+	}
+	w = 1
+	for w*w < nodes {
+		w++
+	}
+	h = (nodes + w - 1) / w
+	return w, h
+}
+
+type link struct {
+	nextFree sim.Time
+	busy     sim.Time // total cycles occupied, for utilization reporting
+}
+
+// Network is a 2-D mesh. All methods must be called from kernel context
+// (single-threaded simulation).
+type Network struct {
+	k   *sim.Kernel
+	cfg Config
+	// links[dir][node] is the directed link leaving node in direction dir.
+	links [4][]link
+
+	bytesByClass [NumClasses]uint64
+	msgsByClass  [NumClasses]uint64
+	// perNode[i] counts bytes produced by node i (Figure 9 is per-directory
+	// average).
+	perNodeBytes []uint64
+	hopsTotal    uint64
+}
+
+const (
+	dirEast = iota
+	dirWest
+	dirNorth
+	dirSouth
+)
+
+// New creates a network for nodes nodes.
+func New(k *sim.Kernel, nodes int, cfg Config) *Network {
+	if cfg.Width*cfg.Height < nodes {
+		panic(fmt.Sprintf("mesh: grid %dx%d too small for %d nodes", cfg.Width, cfg.Height, nodes))
+	}
+	if cfg.LinkBytes <= 0 {
+		panic("mesh: LinkBytes must be positive")
+	}
+	n := &Network{k: k, cfg: cfg, perNodeBytes: make([]uint64, nodes)}
+	for d := range n.links {
+		n.links[d] = make([]link, cfg.Width*cfg.Height)
+	}
+	return n
+}
+
+// Coord returns the grid coordinates of a node.
+func (n *Network) Coord(node int) (x, y int) {
+	return node % n.cfg.Width, node / n.cfg.Width
+}
+
+// Hops returns the XY-routing hop count between two nodes.
+func (n *Network) Hops(src, dst int) int {
+	sx, sy := n.Coord(src)
+	dx, dy := n.Coord(dst)
+	return n.dimHops(sx, dx, n.cfg.Width) + n.dimHops(sy, dy, n.cfg.Height)
+}
+
+// dimHops returns the hop count along one dimension, honoring wraparound.
+func (n *Network) dimHops(from, to, size int) int {
+	d := abs(from - to)
+	if n.cfg.Torus && size-d < d {
+		d = size - d
+	}
+	return d
+}
+
+// dimStep returns the next coordinate moving from cur toward dst along a
+// dimension of the given size, using the wraparound link when it is shorter.
+func (n *Network) dimStep(cur, dst, size int) int {
+	if cur == dst {
+		return cur
+	}
+	forward := dst - cur
+	if forward < 0 {
+		forward += size
+	}
+	stepUp := forward <= size-forward
+	if !n.cfg.Torus {
+		stepUp = dst > cur
+	}
+	if stepUp {
+		return (cur + 1) % size
+	}
+	return (cur - 1 + size) % size
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Send schedules delivery of a message of the given size and class from src
+// to dst, calling deliver at arrival time. Messages between the same pair
+// sent in time order arrive in order (FIFO links, deterministic routing)
+// unless Jitter is configured.
+func (n *Network) Send(src, dst, bytes int, class Class, deliver func()) {
+	n.bytesByClass[class] += uint64(bytes)
+	n.msgsByClass[class]++
+	n.perNodeBytes[src] += uint64(bytes)
+
+	if src == dst {
+		n.k.After(n.cfg.LocalLatency, deliver)
+		return
+	}
+
+	occupancy := sim.Time((bytes + n.cfg.LinkBytes - 1) / n.cfg.LinkBytes)
+	if occupancy < 1 {
+		occupancy = 1
+	}
+	t := n.k.Now()
+	x, y := n.Coord(src)
+	dx, dy := n.Coord(dst)
+	for x != dx || y != dy {
+		var d int
+		node := y*n.cfg.Width + x
+		switch {
+		case x != dx:
+			next := n.dimStep(x, dx, n.cfg.Width)
+			if next == (x+1)%n.cfg.Width {
+				d = dirEast
+			} else {
+				d = dirWest
+			}
+			x = next
+		default:
+			next := n.dimStep(y, dy, n.cfg.Height)
+			if next == (y+1)%n.cfg.Height {
+				d = dirNorth
+			} else {
+				d = dirSouth
+			}
+			y = next
+		}
+		l := &n.links[d][node]
+		start := t
+		if l.nextFree > start {
+			start = l.nextFree
+		}
+		l.nextFree = start + occupancy
+		l.busy += occupancy
+		t = start + n.cfg.HopLatency
+		n.hopsTotal++
+	}
+	arrival := t + occupancy // tail of the message drains at the destination
+	if n.cfg.Jitter != nil {
+		arrival += n.cfg.Jitter(src, dst, bytes)
+	}
+	n.k.At(arrival, deliver)
+}
+
+// Multicast sends an identical message to every destination in dsts.
+func (n *Network) Multicast(src int, dsts []int, bytes int, class Class, deliver func(dst int)) {
+	for _, d := range dsts {
+		dst := d
+		n.Send(src, dst, bytes, class, func() { deliver(dst) })
+	}
+}
+
+// Stats is a snapshot of traffic accounting.
+type Stats struct {
+	BytesByClass [NumClasses]uint64
+	MsgsByClass  [NumClasses]uint64
+	PerNodeBytes []uint64
+	TotalHops    uint64
+}
+
+// Stats returns a copy of the accumulated traffic counters.
+func (n *Network) Stats() Stats {
+	s := Stats{
+		BytesByClass: n.bytesByClass,
+		MsgsByClass:  n.msgsByClass,
+		TotalHops:    n.hopsTotal,
+	}
+	s.PerNodeBytes = append([]uint64(nil), n.perNodeBytes...)
+	return s
+}
+
+// TotalBytes returns the total bytes injected across all classes.
+func (s Stats) TotalBytes() uint64 {
+	var t uint64
+	for _, b := range s.BytesByClass {
+		t += b
+	}
+	return t
+}

@@ -1,0 +1,266 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+
+	"scalabletcc/internal/sim"
+)
+
+func testNet(nodes int, hop sim.Time) (*sim.Kernel, *Network) {
+	k := &sim.Kernel{}
+	cfg := DefaultConfig(nodes)
+	cfg.HopLatency = hop
+	return k, New(k, nodes, cfg)
+}
+
+func TestDimensions(t *testing.T) {
+	cases := []struct{ nodes, w, h int }{
+		{1, 1, 1}, {2, 2, 1}, {4, 2, 2}, {5, 3, 2}, {9, 3, 3},
+		{16, 4, 4}, {32, 6, 6}, {64, 8, 8},
+	}
+	for _, c := range cases {
+		w, h := Dimensions(c.nodes)
+		if w != c.w || h != c.h {
+			t.Errorf("Dimensions(%d) = %dx%d, want %dx%d", c.nodes, w, h, c.w, c.h)
+		}
+		if w*h < c.nodes {
+			t.Errorf("Dimensions(%d) too small", c.nodes)
+		}
+	}
+}
+
+func TestHopsManhattan(t *testing.T) {
+	_, n := testNet(16, 3) // 4x4
+	if n.Hops(0, 0) != 0 {
+		t.Fatal("self hops != 0")
+	}
+	if got := n.Hops(0, 3); got != 3 {
+		t.Fatalf("Hops(0,3) = %d, want 3", got)
+	}
+	if got := n.Hops(0, 15); got != 6 {
+		t.Fatalf("Hops(0,15) = %d, want 6", got)
+	}
+	if n.Hops(5, 10) != n.Hops(10, 5) {
+		t.Fatal("hops not symmetric")
+	}
+}
+
+func TestLatencyScalesWithDistance(t *testing.T) {
+	k, n := testNet(16, 3)
+	var tNear, tFar sim.Time
+	n.Send(0, 1, 8, ClassMiss, func() { tNear = k.Now() })
+	n.Send(0, 15, 8, ClassMiss, func() { tFar = k.Now() })
+	k.Run(0)
+	if tFar <= tNear {
+		t.Fatalf("far delivery (%d) not slower than near (%d)", tFar, tNear)
+	}
+	// 1 hop at 3 cycles/hop + 1 cycle serialization on arrival = 4.
+	if tNear != 4 {
+		t.Fatalf("near latency = %d, want 4", tNear)
+	}
+}
+
+func TestLocalDelivery(t *testing.T) {
+	k, n := testNet(4, 3)
+	var at sim.Time
+	n.Send(2, 2, 100, ClassCommit, func() { at = k.Now() })
+	k.Run(0)
+	if at != 1 {
+		t.Fatalf("local delivery at %d, want LocalLatency=1", at)
+	}
+}
+
+func TestContentionSerializes(t *testing.T) {
+	k, n := testNet(4, 1)
+	// Two large messages over the same link: the second must queue.
+	var t1, t2 sim.Time
+	n.Send(0, 1, 64, ClassMiss, func() { t1 = k.Now() })
+	n.Send(0, 1, 64, ClassMiss, func() { t2 = k.Now() })
+	k.Run(0)
+	if t2 <= t1 {
+		t.Fatalf("second message (%d) not delayed behind first (%d)", t2, t1)
+	}
+	// 64 bytes / 8 B-per-cycle = 8 cycles occupancy.
+	if t2-t1 < 8 {
+		t.Fatalf("queuing delay %d < serialization time 8", t2-t1)
+	}
+}
+
+func TestFIFOPerPair(t *testing.T) {
+	k, n := testNet(9, 2)
+	var order []int
+	for i := 0; i < 20; i++ {
+		idx := i
+		n.Send(0, 8, 16+idx%3*8, ClassCommit, func() { order = append(order, idx) })
+	}
+	k.Run(0)
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("per-pair delivery reordered: %v", order)
+		}
+	}
+}
+
+func TestJitterInjection(t *testing.T) {
+	k := &sim.Kernel{}
+	cfg := DefaultConfig(4)
+	delay := sim.Time(1000)
+	cfg.Jitter = func(src, dst, bytes int) sim.Time {
+		d := delay
+		delay = 0 // only the first message is delayed
+		return d
+	}
+	n := New(k, 4, cfg)
+	var order []int
+	n.Send(0, 3, 8, ClassMiss, func() { order = append(order, 0) })
+	n.Send(0, 3, 8, ClassMiss, func() { order = append(order, 1) })
+	k.Run(0)
+	if order[0] != 1 || order[1] != 0 {
+		t.Fatalf("jitter did not reorder: %v", order)
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	k, n := testNet(4, 1)
+	n.Send(0, 1, 100, ClassMiss, func() {})
+	n.Send(1, 2, 50, ClassWriteBack, func() {})
+	n.Send(2, 0, 25, ClassCommit, func() {})
+	n.Multicast(3, []int{0, 1, 2}, 10, ClassCommit, func(int) {})
+	k.Run(0)
+	s := n.Stats()
+	if s.BytesByClass[ClassMiss] != 100 {
+		t.Fatalf("miss bytes = %d", s.BytesByClass[ClassMiss])
+	}
+	if s.BytesByClass[ClassWriteBack] != 50 {
+		t.Fatalf("wb bytes = %d", s.BytesByClass[ClassWriteBack])
+	}
+	if s.BytesByClass[ClassCommit] != 25+30 {
+		t.Fatalf("commit bytes = %d", s.BytesByClass[ClassCommit])
+	}
+	if s.TotalBytes() != 205 {
+		t.Fatalf("total = %d", s.TotalBytes())
+	}
+	if s.PerNodeBytes[3] != 30 {
+		t.Fatalf("node 3 produced %d bytes, want 30", s.PerNodeBytes[3])
+	}
+	if s.MsgsByClass[ClassCommit] != 4 {
+		t.Fatalf("commit msgs = %d", s.MsgsByClass[ClassCommit])
+	}
+}
+
+func TestClassNames(t *testing.T) {
+	names := map[Class]string{
+		ClassCommit: "CommitOverhead", ClassMiss: "Miss",
+		ClassWriteBack: "WriteBack", ClassShared: "Shared",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("Class %d = %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+// Property: every message is eventually delivered, exactly once, and
+// arrival time is at least hops*hopLatency.
+func TestDeliveryProperty(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		k, n := testNet(16, 2)
+		delivered := 0
+		type exp struct {
+			src, dst int
+			sent     sim.Time
+		}
+		var exps []exp
+		for _, p := range pairs {
+			src, dst := int(p%16), int(p/16%16)
+			e := exp{src: src, dst: dst, sent: k.Now()}
+			exps = append(exps, e)
+			minLat := sim.Time(n.Hops(src, dst))*2 + 1
+			if src == dst {
+				minLat = 1
+			}
+			lo := k.Now() + minLat
+			n.Send(src, dst, 8, ClassMiss, func() {
+				delivered++
+				if k.Now() < lo {
+					panic("delivered too early")
+				}
+			})
+		}
+		k.Run(0)
+		return delivered == len(pairs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHopLatencySweepMonotonic(t *testing.T) {
+	// Figure 8's knob: raising cycles/hop must not make delivery faster.
+	var prev sim.Time
+	for _, hop := range []sim.Time{1, 2, 4, 8} {
+		k, n := testNet(16, hop)
+		var at sim.Time
+		n.Send(0, 15, 8, ClassMiss, func() { at = k.Now() })
+		k.Run(0)
+		if at < prev {
+			t.Fatalf("hop=%d delivered at %d, faster than previous %d", hop, at, prev)
+		}
+		prev = at
+	}
+}
+
+func TestTorusHalvesWorstCase(t *testing.T) {
+	k := &sim.Kernel{}
+	cfg := DefaultConfig(16) // 4x4
+	cfg.Torus = true
+	n := New(k, 16, cfg)
+	// Corner to corner: 6 hops on a grid, 2 on a 4x4 torus (wrap both dims).
+	if got := n.Hops(0, 15); got != 2 {
+		t.Fatalf("torus Hops(0,15) = %d, want 2", got)
+	}
+	if got := n.Hops(0, 3); got != 1 {
+		t.Fatalf("torus Hops(0,3) = %d, want 1 (wraparound)", got)
+	}
+	var at sim.Time
+	n.Send(0, 15, 8, ClassMiss, func() { at = k.Now() })
+	k.Run(0)
+	// 2 hops * 3 cycles + 1 cycle serialization = 7.
+	if at != 7 {
+		t.Fatalf("torus delivery at %d, want 7", at)
+	}
+}
+
+func TestTorusMatchesGridInside(t *testing.T) {
+	k := &sim.Kernel{}
+	cfg := DefaultConfig(16)
+	cfg.Torus = true
+	n := New(k, 16, cfg)
+	g := New(&sim.Kernel{}, 16, DefaultConfig(16))
+	// For adjacent nodes the torus takes the same direct route.
+	if n.Hops(5, 6) != g.Hops(5, 6) || n.Hops(5, 9) != g.Hops(5, 9) {
+		t.Fatal("torus disagrees with grid on interior routes")
+	}
+}
+
+// TestTorusEndToEnd: the knob must work through a full protocol run and not
+// be slower than the plain grid on average.
+func TestTorusDeliveryProperty(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		k := &sim.Kernel{}
+		cfg := DefaultConfig(16)
+		cfg.Torus = true
+		n := New(k, 16, cfg)
+		delivered := 0
+		for _, p := range pairs {
+			src, dst := int(p%16), int(p/16%16)
+			n.Send(src, dst, 8, ClassMiss, func() { delivered++ })
+		}
+		k.Run(0)
+		return delivered == len(pairs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,60 @@
+package scenario
+
+import (
+	"testing"
+
+	"scalabletcc/internal/core"
+	"scalabletcc/internal/verify"
+)
+
+func TestByName(t *testing.T) {
+	for _, n := range Names() {
+		s, ok := ByName(n)
+		if !ok || s.ScriptName != n {
+			t.Errorf("ByName(%q) failed", n)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+// TestScenariosRunClean executes every walkthrough and checks the expected
+// outcome shape plus serializability.
+func TestScenariosRunClean(t *testing.T) {
+	expect := map[string]struct {
+		commits    uint64
+		violations bool
+	}{
+		"figure2":          {commits: 3, violations: true},
+		"figure3-parallel": {commits: 3, violations: false},
+		"figure3-conflict": {commits: 3, violations: true},
+	}
+	for _, n := range Names() {
+		s, _ := ByName(n)
+		cfg := core.DefaultConfig(s.Procs())
+		cfg.MaxCycles = 10_000_000
+		sys, err := core.NewSystem(cfg, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.CollectCommitLog(true)
+		res, err := sys.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		want := expect[n]
+		if res.Commits != want.commits {
+			t.Errorf("%s: commits = %d, want %d", n, res.Commits, want.commits)
+		}
+		if want.violations && res.Violations == 0 {
+			t.Errorf("%s: expected a violation", n)
+		}
+		if !want.violations && res.Violations != 0 {
+			t.Errorf("%s: unexpected violations: %d", n, res.Violations)
+		}
+		if v := verify.Check(res.CommitLog); len(v) != 0 {
+			t.Errorf("%s: not serializable: %v", n, v[0])
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Package sim provides the discrete-event simulation kernel used by every
+// timed component in the simulator: the mesh interconnect, caches,
+// directories, processors, and the TID vendor.
+//
+// The kernel is deliberately minimal: a priority queue of (time, sequence)
+// ordered events, each carrying a closure. Components model latency by
+// scheduling follow-up events; they model occupancy/contention by keeping
+// "next free" timestamps and scheduling work at max(now, nextFree).
+//
+// Determinism is a hard requirement (the serializability checker and the
+// regression tests depend on bit-identical replays), so ties in time are
+// broken by a monotonically increasing sequence number assigned at schedule
+// time.
+package sim
+
+import "container/heap"
+
+// Time is the simulation clock in cycles.
+type Time uint64
+
+// Event is a scheduled closure. Events are ordered by (At, seq).
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a deterministic discrete-event scheduler.
+// The zero value is ready to use.
+type Kernel struct {
+	pq   eventHeap
+	now  Time
+	seq  uint64
+	nRun uint64
+}
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Events returns the number of events executed so far.
+func (k *Kernel) Events() uint64 { return k.nRun }
+
+// Pending returns the number of events not yet executed.
+func (k *Kernel) Pending() int { return len(k.pq) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// programming error and panics: protocol components must never violate
+// causality, and silently clamping would hide bugs.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic("sim: event scheduled in the past")
+	}
+	k.seq++
+	heap.Push(&k.pq, event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+// Step executes the single earliest pending event and reports whether one
+// existed.
+func (k *Kernel) Step() bool {
+	if len(k.pq) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.pq).(event)
+	k.now = e.at
+	k.nRun++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains or limit events have run in this
+// call (0 means no limit). It returns true if the queue drained.
+func (k *Kernel) Run(limit uint64) bool {
+	var n uint64
+	for len(k.pq) > 0 {
+		if limit != 0 && n >= limit {
+			return false
+		}
+		k.Step()
+		n++
+	}
+	return true
+}
+
+// RunUntil executes events with at-time <= deadline. Events scheduled later
+// remain pending. Returns true if the queue drained.
+func (k *Kernel) RunUntil(deadline Time) bool {
+	for len(k.pq) > 0 && k.pq[0].at <= deadline {
+		k.Step()
+	}
+	if len(k.pq) == 0 {
+		k.now = deadline
+		return true
+	}
+	return false
+}

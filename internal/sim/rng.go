@@ -1,0 +1,66 @@
+package sim
+
+// RNG is a small, fast, deterministic pseudo-random generator (splitmix64).
+// The workload generators must produce identical programs for a given seed on
+// every platform and Go release, so we do not use math/rand.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Derive returns a new independent generator whose stream is a pure function
+// of the parent seed and the salts. It does not disturb the parent stream,
+// which lets callers create per-(processor, transaction) streams so that a
+// re-executed transaction replays exactly the same memory operations.
+func (r *RNG) Derive(salts ...uint64) *RNG {
+	s := r.state
+	for _, salt := range salts {
+		s = mix(s ^ (salt + 0x9e3779b97f4a7c15))
+	}
+	return &RNG{state: s}
+}
+
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return mix(r.state)
+}
+
+// Intn returns a uniform value in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Geometric returns a sample from a geometric-ish distribution with the given
+// mean, clamped to [1, 8*mean]. Used for transaction-size jitter.
+func (r *RNG) Geometric(mean int) int {
+	if mean <= 1 {
+		return 1
+	}
+	// Sum of two uniforms gives a triangular distribution around the mean;
+	// cheap, bounded, and good enough for size jitter.
+	v := r.Intn(mean) + r.Intn(mean) + 1
+	if v < 1 {
+		v = 1
+	}
+	return v
+}

@@ -1,0 +1,134 @@
+// Package tape is the simulator's take on TAPE, the profiling environment
+// the paper points programmers at ("TCC provides a profiling environment,
+// TAPE, which allows programmers to quickly detect the occurrence of this
+// rare event"): lightweight hardware counters that attribute violations and
+// wasted work to the data that caused them, so contention and starvation
+// can be found without instrumenting the application.
+package tape
+
+import (
+	"fmt"
+	"sort"
+
+	"scalabletcc/internal/mem"
+	"scalabletcc/internal/tid"
+)
+
+// lineStats accumulates conflict damage for one cache line.
+type lineStats struct {
+	violations  uint64
+	wasted      uint64 // cycles of discarded work attributed to this line
+	lastWriter  tid.TID
+	victimProcs map[int]uint64
+}
+
+// Profiler collects conflict attribution for one run. The zero value is not
+// ready; use New.
+type Profiler struct {
+	lines     map[mem.Addr]*lineStats
+	starved   map[int]uint64 // proc -> worst consecutive-violation streak
+	total     uint64
+	totalWork uint64
+}
+
+// New returns an empty profiler.
+func New() *Profiler {
+	return &Profiler{
+		lines:   make(map[mem.Addr]*lineStats),
+		starved: make(map[int]uint64),
+	}
+}
+
+// RecordViolation attributes one violation to the line whose invalidation
+// caused it: victim lost wasted cycles of work to committer's write.
+func (p *Profiler) RecordViolation(line mem.Addr, victim int, committer tid.TID, wasted uint64) {
+	ls, ok := p.lines[line]
+	if !ok {
+		ls = &lineStats{victimProcs: make(map[int]uint64)}
+		p.lines[line] = ls
+	}
+	ls.violations++
+	ls.wasted += wasted
+	ls.lastWriter = committer
+	ls.victimProcs[victim]++
+	p.total++
+	p.totalWork += wasted
+}
+
+// RecordStreak notes a processor's consecutive-violation streak, the
+// starvation signal the paper's forward-progress mitigation reacts to.
+func (p *Profiler) RecordStreak(proc int, attempts uint64) {
+	if attempts > p.starved[proc] {
+		p.starved[proc] = attempts
+	}
+}
+
+// TotalViolations returns the number of recorded violations.
+func (p *Profiler) TotalViolations() uint64 { return p.total }
+
+// WastedCycles returns the total discarded work recorded.
+func (p *Profiler) WastedCycles() uint64 { return p.totalWork }
+
+// LineReport is one line of the conflict profile.
+type LineReport struct {
+	Line       mem.Addr
+	Violations uint64
+	Wasted     uint64 // discarded cycles
+	Victims    int    // distinct processors that lost work on this line
+	LastWriter tid.TID
+}
+
+// String renders one report row.
+func (r LineReport) String() string {
+	return fmt.Sprintf("line %#x: %d violations, %d wasted cycles, %d victims (last writer T%d)",
+		r.Line, r.Violations, r.Wasted, r.Victims, r.LastWriter)
+}
+
+// Top returns the n most damaging lines by wasted cycles (all of them if
+// n <= 0), most damaging first.
+func (p *Profiler) Top(n int) []LineReport {
+	out := make([]LineReport, 0, len(p.lines))
+	for line, ls := range p.lines {
+		out = append(out, LineReport{
+			Line:       line,
+			Violations: ls.violations,
+			Wasted:     ls.wasted,
+			Victims:    len(ls.victimProcs),
+			LastWriter: ls.lastWriter,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Wasted != out[j].Wasted {
+			return out[i].Wasted > out[j].Wasted
+		}
+		return out[i].Line < out[j].Line
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// StarvationReport lists processors whose worst retry streak reached the
+// threshold, worst first.
+type StarvationReport struct {
+	Proc        int
+	WorstStreak uint64
+}
+
+// Starved returns processors with streaks >= threshold.
+func (p *Profiler) Starved(threshold uint64) []StarvationReport {
+	var out []StarvationReport
+	for proc, streak := range p.starved {
+		if streak >= threshold {
+			out = append(out, StarvationReport{Proc: proc, WorstStreak: streak})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].WorstStreak != out[j].WorstStreak {
+			return out[i].WorstStreak > out[j].WorstStreak
+		}
+		return out[i].Proc < out[j].Proc
+	})
+	return out
+}

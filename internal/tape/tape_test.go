@@ -1,0 +1,87 @@
+package tape
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"scalabletcc/internal/mem"
+)
+
+func TestRecordAndTop(t *testing.T) {
+	p := New()
+	p.RecordViolation(0x100, 1, 5, 1000)
+	p.RecordViolation(0x100, 2, 7, 500)
+	p.RecordViolation(0x200, 1, 6, 2000)
+	if p.TotalViolations() != 3 || p.WastedCycles() != 3500 {
+		t.Fatalf("totals: %d violations, %d wasted", p.TotalViolations(), p.WastedCycles())
+	}
+	top := p.Top(0)
+	if len(top) != 2 {
+		t.Fatalf("Top returned %d lines", len(top))
+	}
+	if top[0].Line != 0x200 || top[0].Wasted != 2000 {
+		t.Fatalf("worst line wrong: %+v", top[0])
+	}
+	if top[1].Line != 0x100 || top[1].Violations != 2 || top[1].Victims != 2 {
+		t.Fatalf("second line wrong: %+v", top[1])
+	}
+	if top[1].LastWriter != 7 {
+		t.Fatalf("last writer = %d", top[1].LastWriter)
+	}
+	if got := p.Top(1); len(got) != 1 {
+		t.Fatalf("Top(1) returned %d", len(got))
+	}
+	if !strings.Contains(top[0].String(), "0x200") {
+		t.Fatalf("report string: %s", top[0])
+	}
+}
+
+func TestStarvation(t *testing.T) {
+	p := New()
+	p.RecordStreak(3, 2)
+	p.RecordStreak(3, 9)
+	p.RecordStreak(3, 4) // lower than the max: ignored
+	p.RecordStreak(1, 6)
+	starved := p.Starved(5)
+	if len(starved) != 2 {
+		t.Fatalf("starved = %v", starved)
+	}
+	if starved[0].Proc != 3 || starved[0].WorstStreak != 9 {
+		t.Fatalf("worst starver wrong: %+v", starved[0])
+	}
+	if len(p.Starved(100)) != 0 {
+		t.Fatal("threshold not applied")
+	}
+}
+
+// Property: totals equal the sum over lines, and Top ordering is
+// non-increasing in wasted cycles.
+func TestTapeAccountingProperty(t *testing.T) {
+	f := func(events []uint32) bool {
+		p := New()
+		var wantViol, wantWaste uint64
+		for _, e := range events {
+			line := mem.Addr(e % 16 * 32)
+			wasted := uint64(e >> 4 % 1000)
+			p.RecordViolation(line, int(e%5), 1, wasted)
+			wantViol++
+			wantWaste += wasted
+		}
+		if p.TotalViolations() != wantViol || p.WastedCycles() != wantWaste {
+			return false
+		}
+		top := p.Top(0)
+		var sum uint64
+		for i, r := range top {
+			sum += r.Wasted
+			if i > 0 && r.Wasted > top[i-1].Wasted {
+				return false
+			}
+		}
+		return sum == wantWaste
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+package verify
+
+import (
+	"testing"
+	"testing/quick"
+
+	"scalabletcc/internal/mem"
+	"scalabletcc/internal/tid"
+)
+
+func rec(t tid.TID, reads map[mem.Addr]mem.Version, writes []mem.Addr) Record {
+	ws := make(map[mem.Addr]mem.Version)
+	for _, a := range writes {
+		ws[a] = mem.Version(t)
+	}
+	return Record{TID: t, Reads: reads, Writes: ws}
+}
+
+func TestCheckCleanHistory(t *testing.T) {
+	recs := []Record{
+		rec(1, nil, []mem.Addr{0x10}),
+		rec(2, map[mem.Addr]mem.Version{0x10: 1}, []mem.Addr{0x20}),
+		rec(3, map[mem.Addr]mem.Version{0x10: 1, 0x20: 2}, []mem.Addr{0x10}),
+	}
+	if v := Check(recs); len(v) != 0 {
+		t.Fatalf("clean history flagged: %v", v)
+	}
+}
+
+func TestCheckOutOfOrderInput(t *testing.T) {
+	// Records arrive in commit-time order, not TID order; Check must sort.
+	recs := []Record{
+		rec(3, map[mem.Addr]mem.Version{0x10: 1}, nil),
+		rec(1, nil, []mem.Addr{0x10}),
+	}
+	if v := Check(recs); len(v) != 0 {
+		t.Fatalf("sorted replay failed: %v", v)
+	}
+}
+
+func TestCheckStaleRead(t *testing.T) {
+	recs := []Record{
+		rec(1, nil, []mem.Addr{0x10}),
+		rec(2, map[mem.Addr]mem.Version{0x10: 0}, nil), // read initial, should see T1
+	}
+	v := Check(recs)
+	if len(v) != 1 {
+		t.Fatalf("expected one violation, got %v", v)
+	}
+	if v[0].TID != 2 || v[0].Addr != 0x10 || v[0].Expected != 1 || v[0].Observed != 0 {
+		t.Fatalf("violation detail wrong: %+v", v[0])
+	}
+	if v[0].Error() == "" {
+		t.Fatal("empty error text")
+	}
+}
+
+func TestCheckLostUpdateVisible(t *testing.T) {
+	// T3 reads T1's value even though T2 wrote in between: stale.
+	recs := []Record{
+		rec(1, nil, []mem.Addr{0x40}),
+		rec(2, nil, []mem.Addr{0x40}),
+		rec(3, map[mem.Addr]mem.Version{0x40: 1}, nil),
+	}
+	if v := Check(recs); len(v) != 1 {
+		t.Fatalf("lost update not detected: %v", v)
+	}
+}
+
+func TestCheckDuplicateTID(t *testing.T) {
+	recs := []Record{
+		rec(5, nil, []mem.Addr{0x10}),
+		rec(5, nil, []mem.Addr{0x20}),
+	}
+	if v := Check(recs); len(v) == 0 {
+		t.Fatal("duplicate TID not flagged")
+	}
+}
+
+func TestCheckWrongWriteVersion(t *testing.T) {
+	r := Record{TID: 4, Writes: map[mem.Addr]mem.Version{0x10: 9}}
+	if v := Check([]Record{r}); len(v) == 0 {
+		t.Fatal("write version != TID not flagged")
+	}
+}
+
+func TestFinalMemory(t *testing.T) {
+	recs := []Record{
+		rec(2, nil, []mem.Addr{0x10, 0x20}),
+		rec(1, nil, []mem.Addr{0x10}),
+	}
+	fm := FinalMemory(recs)
+	if fm[0x10] != 2 || fm[0x20] != 2 {
+		t.Fatalf("final memory wrong: %v", fm)
+	}
+}
+
+// Property: replaying a history generated faithfully from the TID-serial
+// semantics never produces violations, while corrupting one read always
+// does.
+func TestCheckGeneratedHistoryProperty(t *testing.T) {
+	f := func(ops []uint16, corrupt bool) bool {
+		ideal := map[mem.Addr]mem.Version{}
+		var recs []Record
+		next := tid.TID(1)
+		for _, op := range ops {
+			a := mem.Addr(op%16) * 4
+			r := rec(next, map[mem.Addr]mem.Version{a: ideal[a]}, []mem.Addr{a})
+			ideal[a] = mem.Version(next)
+			recs = append(recs, r)
+			next++
+		}
+		if len(recs) == 0 {
+			return true
+		}
+		if len(Check(recs)) != 0 {
+			return false
+		}
+		if corrupt {
+			for a := range recs[len(recs)-1].Reads {
+				recs[len(recs)-1].Reads[a] += 1000
+			}
+			if len(Check(recs)) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,46 @@
+package tcc
+
+import (
+	"scalabletcc/internal/mem"
+	"scalabletcc/internal/workload"
+)
+
+// The building blocks for writing custom transactional programs against the
+// simulator, re-exported from the workload substrate. A custom program
+// implements Program:
+//
+//	type Program interface {
+//		Name() string
+//		Procs() int
+//		Phases() int
+//		TxCount(proc, phase int) int
+//		Tx(proc, phase, idx int) Tx
+//		PreMap(m *AddrMap)
+//	}
+//
+// Tx must be a pure function of (proc, phase, idx): a violated transaction
+// re-executes, and the protocol requires the replay to issue the same
+// memory operations.
+
+// Addr is a byte address in the simulated physical address space.
+type Addr = mem.Addr
+
+// AddrMap is the first-touch page-to-home-node NUMA map; PreMap uses
+// Home(addr, node) to pre-home pages the way an initialization phase would.
+type AddrMap = mem.Map
+
+// OpKind discriminates transaction operations.
+type OpKind = workload.Kind
+
+// Operation kinds for custom programs.
+const (
+	Compute = workload.Compute // consume Cycles cycles at CPI 1
+	Load    = workload.Load    // read the word at Addr
+	Store   = workload.Store   // speculatively write the word at Addr
+)
+
+// Op is one step of a transaction.
+type Op = workload.Op
+
+// Tx is one transaction: a sequence of ops executed atomically.
+type Tx = workload.Tx

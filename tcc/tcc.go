@@ -1,0 +1,276 @@
+// Package tcc is the public API of the Scalable TCC simulator — an
+// implementation of "A Scalable, Non-blocking Approach to Transactional
+// Memory" (HPCA 2007).
+//
+// A System models a directory-based distributed-shared-memory machine whose
+// coherence and consistency protocol is Scalable TCC: continuous
+// transactions, lazy versioning in private caches, commit-time conflict
+// detection with parallel two-phase commits across directories, write-back
+// data movement, and livelock-free forward progress without user-level
+// contention managers.
+//
+// Quick start:
+//
+//	cfg := tcc.DefaultConfig(16)
+//	prog := tcc.MustProfile("barnes").Build(cfg.Procs, cfg.Seed)
+//	res, err := tcc.Run(cfg, prog)
+//	fmt.Println(res.Cycles, res.Commits)
+//
+// Workloads are deterministic transactional programs; the eleven profiles
+// of the paper's Table 3 ship with the package (Profiles), and custom
+// fingerprints can be built with Profile. The BaselineConfig / RunBaseline
+// pair models the original bus-based small-scale TCC for comparison.
+package tcc
+
+import (
+	"fmt"
+
+	"scalabletcc/internal/baseline"
+	"scalabletcc/internal/core"
+	"scalabletcc/internal/mem"
+	"scalabletcc/internal/mesh"
+	"scalabletcc/internal/sim"
+	"scalabletcc/internal/tape"
+	"scalabletcc/internal/verify"
+	"scalabletcc/internal/workload"
+)
+
+// Profile is a synthetic application fingerprint (transaction size,
+// read/write-set sizes, locality, conflict behaviour, barrier structure).
+type Profile = workload.Profile
+
+// Program is a deterministic transactional parallel program.
+type Program = workload.Program
+
+// Results summarizes a Scalable TCC run: cycle count, the five-way
+// execution-time breakdown, violation/commit counts, per-class network
+// traffic, and the Table 3 fingerprint percentiles.
+type Results = core.Results
+
+// BaselineResults summarizes a bus-based small-scale TCC run.
+type BaselineResults = baseline.Results
+
+// SerializabilityViolation is a failure found by the commit-log oracle.
+type SerializabilityViolation = verify.Violation
+
+// Config parameterizes the simulated machine. The zero value is not valid;
+// start from DefaultConfig.
+type Config struct {
+	// Procs is the number of processors; the machine has one node (and one
+	// directory) per processor, arranged in a near-square 2-D mesh.
+	Procs int
+
+	// LineSize is the cache-line size in bytes (default 32, Table 2).
+	LineSize int
+
+	// L1Size/L1Ways and L2Size/L2Ways shape the private cache hierarchy
+	// (defaults: 32 KB 4-way 1-cycle L1; 512 KB 8-way 6-cycle L2).
+	L1Size, L1Ways int
+	L2Size, L2Ways int
+
+	// HopLatency is the mesh link latency in cycles per hop (Figure 8's
+	// knob; default 3). LinkBytesPerCycle is per-link bandwidth (default 8).
+	HopLatency        int
+	LinkBytesPerCycle int
+
+	// Torus adds wraparound links to the 2-D grid, halving worst-case hop
+	// counts (a topology study the paper's Table 2 invites).
+	Torus bool
+
+	// MemLatency and DirLatency are the main-memory and directory-cache
+	// access latencies in cycles (Table 2: 100 and 10).
+	MemLatency int
+	DirLatency int
+
+	// DirCacheEntries bounds each node's directory cache (0 = unbounded).
+	// Entry accesses that miss pay MemLatency to reach the DRAM-backed full
+	// directory; Table 3's working-set claim can be tested with this knob.
+	DirCacheEntries int
+
+	// LineGranularity switches conflict detection from word-level to
+	// line-level tracking (§3.1 design option; exposes false sharing).
+	LineGranularity bool
+
+	// StarveRetainAfter is the violation count after which a transaction
+	// retains its TID across restarts (§3.3 forward-progress guarantee).
+	// Zero disables retention. Default 8.
+	StarveRetainAfter int
+
+	// RepeatedProbing disables the deferred-probe optimization: directories
+	// answer probes immediately with their current NSTID and processors
+	// re-probe (the paper's unoptimized alternative).
+	RepeatedProbing bool
+
+	// WriteThroughCommit ships data with commit marks instead of using the
+	// write-back protocol (traffic ablation).
+	WriteThroughCommit bool
+
+	// Seed drives every pseudo-random choice; equal seeds give bit-identical
+	// runs.
+	Seed uint64
+
+	// MaxCycles aborts a run that exceeds it (deadlock watchdog; 0 = off).
+	MaxCycles uint64
+
+	// CollectCommitLog records every committed transaction's read/write
+	// footprint for Verify. Memory-heavy; off by default.
+	CollectCommitLog bool
+}
+
+// DefaultConfig returns the paper's Table 2 machine for procs processors.
+func DefaultConfig(procs int) Config {
+	return Config{
+		Procs:             procs,
+		LineSize:          32,
+		L1Size:            32 << 10,
+		L1Ways:            4,
+		L2Size:            512 << 10,
+		L2Ways:            8,
+		HopLatency:        3,
+		LinkBytesPerCycle: 8,
+		MemLatency:        100,
+		DirLatency:        10,
+		StarveRetainAfter: 8,
+		Seed:              1,
+		MaxCycles:         0,
+	}
+}
+
+func (c Config) toCore() core.Config {
+	cc := core.DefaultConfig(c.Procs)
+	cc.Geometry = mem.Geometry{LineSize: c.LineSize, WordSize: 4, PageSize: 4096}
+	cc.L1Size, cc.L1Ways = c.L1Size, c.L1Ways
+	cc.L2Size, cc.L2Ways = c.L2Size, c.L2Ways
+	cc.Mesh = mesh.DefaultConfig(c.Procs)
+	cc.Mesh.HopLatency = sim.Time(c.HopLatency)
+	cc.Mesh.LinkBytes = c.LinkBytesPerCycle
+	cc.Mesh.Torus = c.Torus
+	cc.MemLatency = sim.Time(c.MemLatency)
+	cc.DirLatency = sim.Time(c.DirLatency)
+	cc.DirCacheEntries = c.DirCacheEntries
+	cc.LineGranularity = c.LineGranularity
+	cc.StarveRetainAfter = c.StarveRetainAfter
+	cc.DeferredProbes = !c.RepeatedProbing
+	cc.WriteThroughCommit = c.WriteThroughCommit
+	cc.Seed = c.Seed
+	cc.MaxCycles = sim.Time(c.MaxCycles)
+	return cc
+}
+
+// Validate reports whether the configuration is well-formed.
+func (c Config) Validate() error { return c.toCore().Validate() }
+
+// System is an assembled Scalable TCC machine ready to run one program.
+type System struct {
+	inner *core.System
+}
+
+// NewSystem builds a machine running prog under cfg.
+func NewSystem(cfg Config, prog Program) (*System, error) {
+	s, err := core.NewSystem(cfg.toCore(), prog)
+	if err != nil {
+		return nil, err
+	}
+	s.CollectCommitLog(cfg.CollectCommitLog)
+	return &System{inner: s}, nil
+}
+
+// Run executes the program to completion.
+func (s *System) Run() (*Results, error) { return s.inner.Run() }
+
+// ConflictProfiler is the TAPE-style profiler: it attributes violations and
+// wasted cycles to the cache lines (and committing transactions) that
+// caused them, and tracks per-processor retry streaks for starvation
+// detection.
+type ConflictProfiler = tape.Profiler
+
+// ConflictLine is one row of the conflict profile.
+type ConflictLine = tape.LineReport
+
+// EnableConflictProfiler attaches a TAPE profiler (call before Run) and
+// returns it for querying afterwards.
+func (s *System) EnableConflictProfiler() *ConflictProfiler { return s.inner.EnableTape() }
+
+// SetTrace installs a protocol-event trace hook (one call per event:
+// loads served, skips, probes, marks, commits, invalidations, violations,
+// write-backs). Tracing is for debugging and walkthroughs; it does not
+// change simulated behaviour.
+func (s *System) SetTrace(fn func(format string, args ...any)) { s.inner.Trace = fn }
+
+// AuditFinalMemory cross-checks the machine's final memory state (memory
+// banks plus owned cache lines) against the TID-serial replay of the commit
+// log; requires CollectCommitLog.
+func (s *System) AuditFinalMemory() error { return s.inner.AuditFinalMemory() }
+
+// Run is the one-shot helper: build a system and run prog under cfg.
+func Run(cfg Config, prog Program) (*Results, error) {
+	s, err := NewSystem(cfg, prog)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// Verify replays a run's commit log in TID order and returns every
+// serializability violation (nil means the execution was serializable).
+// The run must have been configured with CollectCommitLog.
+func Verify(r *Results) []SerializabilityViolation {
+	return verify.Check(r.CommitLog)
+}
+
+// Profiles returns the paper's eleven Table 3 application profiles.
+func Profiles() []Profile { return workload.Profiles() }
+
+// StressProfiles returns the adversarial profiles used by ablations
+// (falseshare, hotspot, commitbound).
+func StressProfiles() []Profile { return workload.StressProfiles() }
+
+// ProfileByName looks up a profile from Profiles or StressProfiles.
+func ProfileByName(name string) (Profile, bool) { return workload.ByName(name) }
+
+// MustProfile is ProfileByName that panics on unknown names.
+func MustProfile(name string) Profile {
+	p, ok := workload.ByName(name)
+	if !ok {
+		panic(fmt.Sprintf("tcc: unknown profile %q", name))
+	}
+	return p
+}
+
+// BaselineConfig parameterizes the bus-based small-scale TCC machine.
+type BaselineConfig struct {
+	Procs            int
+	BusBytesPerCycle int // ordered-bus bandwidth (default 16)
+	MemLatency       int
+	LineGranularity  bool
+	Seed             uint64
+	MaxCycles        uint64
+	CollectCommitLog bool
+}
+
+// DefaultBaselineConfig returns the bus machine matching DefaultConfig's
+// node parameters.
+func DefaultBaselineConfig(procs int) BaselineConfig {
+	return BaselineConfig{Procs: procs, BusBytesPerCycle: 16, MemLatency: 100, Seed: 1}
+}
+
+// RunBaseline executes prog on the bus-based small-scale TCC design.
+func RunBaseline(cfg BaselineConfig, prog Program) (*BaselineResults, error) {
+	bc := baseline.DefaultConfig(cfg.Procs)
+	bc.BusBytesPerCycle = cfg.BusBytesPerCycle
+	bc.MemLatency = sim.Time(cfg.MemLatency)
+	bc.LineGranularity = cfg.LineGranularity
+	bc.Seed = cfg.Seed
+	bc.MaxCycles = sim.Time(cfg.MaxCycles)
+	sys, err := baseline.NewSystem(bc, prog)
+	if err != nil {
+		return nil, err
+	}
+	sys.CollectCommitLog(cfg.CollectCommitLog)
+	return sys.Run()
+}
+
+// VerifyBaseline replays a baseline run's commit log.
+func VerifyBaseline(r *BaselineResults) []SerializabilityViolation {
+	return verify.Check(r.CommitLog)
+}
