@@ -11,6 +11,7 @@
 package scalabletcc
 
 import (
+	"runtime"
 	"testing"
 
 	"scalabletcc/internal/experiments"
@@ -20,13 +21,16 @@ import (
 )
 
 // benchOpts returns experiment options scaled for benchmark iteration.
+// Parallel is pinned to 1 so per-op timings stay comparable across hosts;
+// BenchmarkFig7Parallel measures the fan-out win separately.
 func benchOpts() experiments.Options {
-	return experiments.Options{
-		Scale:    0.1,
-		MaxProcs: 16,
-		Procs:    []int{1, 4, 16},
-		Apps:     []string{"barnes", "equake", "SPECjbb2000", "volrend"},
-	}
+	opts := experiments.DefaultOptions()
+	opts.Scale = 0.1
+	opts.MaxProcs = 16
+	opts.Procs = []int{1, 4, 16}
+	opts.Apps = []string{"barnes", "equake", "SPECjbb2000", "volrend"}
+	opts.Parallel = 1
+	return opts
 }
 
 // BenchmarkTable3 regenerates the application-characterization table.
@@ -88,6 +92,20 @@ func BenchmarkFig7(b *testing.B) {
 					b.ReportMetric(c.Speedup, "equake-speedup-16p")
 				}
 			}
+		}
+	}
+}
+
+// BenchmarkFig7Parallel runs the same scaling study with the sweep fanned
+// across all available cores — compare ns/op against BenchmarkFig7 for the
+// harness's wall-clock win (on an N-core host expect up to ~min(N, jobs)x).
+func BenchmarkFig7Parallel(b *testing.B) {
+	opts := benchOpts()
+	opts.Parallel = runtime.GOMAXPROCS(0)
+	b.ReportMetric(float64(opts.Parallel), "workers")
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(opts); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -1,45 +1,66 @@
 // Command tccbench regenerates the tables and figures of "A Scalable,
 // Non-blocking Approach to Transactional Memory" (HPCA 2007), plus the
-// ablations described in DESIGN.md.
+// ablations described in DESIGN.md. Independent simulation runs are fanned
+// across worker goroutines (-parallel, default GOMAXPROCS); output is
+// byte-identical whatever the worker count.
 //
 // Usage:
 //
 //	tccbench -exp fig7 -scale 0.25 -procs 1,4,16,64
+//	tccbench -exp fig7 -parallel 8 -json -out BENCH_sweep.json
 //	tccbench -exp all -verify
 //
 // Experiments: table1 table2 table3 fig6 fig7 fig8 fig9 baseline
-// granularity probes writeback all
+// granularity probes writeback dircache all
+//
+// With -json (implied by -out) the run also emits a versioned
+// machine-readable report — one cell per (app, procs, config) simulation —
+// to -out FILE, or to stdout (suppressing the tables) when no -out is
+// given. The schema is documented in EXPERIMENTS.md.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"scalabletcc/internal/experiments"
-	"scalabletcc/tcc"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1|table2|table3|fig6|fig7|fig8|fig9|baseline|granularity|probes|writeback|dircache|all")
-		apps   = flag.String("apps", "", "comma-separated app names (default: the paper's eleven)")
-		procs  = flag.String("procs", "", "comma-separated processor counts for sweeps (default 1,2,4,8,16,32,64)")
-		max    = flag.Int("maxprocs", 0, "machine size for table3/fig8/fig9/ablations (default 64; table3 default 32)")
-		scale  = flag.Float64("scale", 1.0, "workload scale factor (0.1 = ten times fewer transactions)")
-		seed   = flag.Uint64("seed", 1, "simulation seed")
-		verify = flag.Bool("verify", false, "run the serializability oracle on every run")
-		hops   = flag.String("hops", "", "comma-separated cycles/hop for fig8 (default 1,2,4,8)")
+		exp      = flag.String("exp", "all", "experiment: "+strings.Join(experiments.Names(), "|")+"|all")
+		apps     = flag.String("apps", "", "comma-separated app names (default: per-experiment set)")
+		procs    = flag.String("procs", "", "comma-separated processor counts for sweeps (default 1,2,4,8,16,32,64)")
+		max      = flag.Int("maxprocs", 0, "machine size for table3/fig8/fig9/ablations (default 64; table3 default 32)")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor (0.1 = ten times fewer transactions)")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		verify   = flag.Bool("verify", false, "run the serializability oracle on every run")
+		hops     = flag.String("hops", "", "comma-separated cycles/hop for fig8 (default 1,2,4,8)")
+		parallel = flag.Int("parallel", 0, "worker goroutines for independent runs (0 = GOMAXPROCS)")
+		jsonFlag = flag.Bool("json", false, "emit the machine-readable report (JSON)")
+		outFile  = flag.String("out", "", "write the JSON report to FILE (implies -json)")
+		timeout  = flag.Duration("timeout", 0, "per-run wall-clock timeout, e.g. 10m (0 = none)")
+		progress = flag.Bool("progress", false, "print per-experiment run progress to stderr")
 	)
 	flag.Parse()
 
-	opts := experiments.Options{
-		Scale:    *scale,
-		Seed:     *seed,
-		Verify:   *verify,
-		MaxProcs: *max,
+	opts := experiments.DefaultOptions()
+	opts.Scale = *scale
+	opts.Seed = *seed
+	opts.Verify = *verify
+	opts.JobTimeout = *timeout
+	if *max > 0 {
+		opts.MaxProcs = *max
+	}
+	if *parallel < 0 {
+		fatal(fmt.Errorf("-parallel %d is invalid (0 = GOMAXPROCS, or a positive worker count)", *parallel))
+	}
+	if *parallel > 0 {
+		opts.Parallel = *parallel
 	}
 	if *apps != "" {
 		opts.Apps = strings.Split(*apps, ",")
@@ -52,73 +73,74 @@ func main() {
 		fatal(err)
 	}
 
+	wantJSON := *jsonFlag || *outFile != ""
+	var rec *experiments.Recorder
+	if wantJSON {
+		rec = &experiments.Recorder{}
+		opts.Record = rec
+	}
+	tables := io.Writer(os.Stdout)
+	if wantJSON && *outFile == "" {
+		tables = io.Discard // stdout carries the JSON document
+	}
+
 	run := func(name string) {
-		fmt.Printf("== %s ==\n", name)
-		switch name {
-		case "table1":
-			experiments.Table1(os.Stdout)
-		case "table2":
-			p := opts.MaxProcs
-			if p == 0 {
-				p = 64
-			}
-			experiments.Table2(os.Stdout, tcc.DefaultConfig(p))
-		case "table3":
-			rows, err := experiments.Table3(opts)
-			exitOn(err)
-			experiments.PrintTable3(os.Stdout, rows)
-		case "fig6":
-			rows, err := experiments.Fig6(opts)
-			exitOn(err)
-			experiments.PrintFig6(os.Stdout, rows)
-		case "fig7":
-			cells, err := experiments.Fig7(opts)
-			exitOn(err)
-			experiments.PrintFig7(os.Stdout, cells)
-		case "fig8":
-			cells, err := experiments.Fig8(opts)
-			exitOn(err)
-			experiments.PrintFig8(os.Stdout, cells)
-		case "fig9":
-			rows, err := experiments.Fig9(opts)
-			exitOn(err)
-			experiments.PrintFig9(os.Stdout, rows)
-		case "baseline":
-			cells, err := experiments.BaselineComparison(opts)
-			exitOn(err)
-			experiments.PrintBaseline(os.Stdout, cells)
-		case "granularity":
-			rows, err := experiments.Granularity(opts)
-			exitOn(err)
-			experiments.PrintGranularity(os.Stdout, rows)
-		case "probes":
-			rows, err := experiments.Probes(opts)
-			exitOn(err)
-			experiments.PrintProbes(os.Stdout, rows)
-		case "writeback":
-			rows, err := experiments.WriteBack(opts)
-			exitOn(err)
-			experiments.PrintWriteBack(os.Stdout, rows)
-		case "dircache":
-			rows, err := experiments.DirCache(opts)
-			exitOn(err)
-			experiments.PrintDirCache(os.Stdout, rows)
-		default:
+		e, ok := experiments.ByName(name)
+		if !ok {
 			fatal(fmt.Errorf("unknown experiment %q", name))
 		}
-		fmt.Println()
+		o := opts
+		if name == "table3" && *max == 0 {
+			o.MaxProcs = 32 // the paper reports Table 3 at 32 CPUs
+		}
+		if *progress {
+			o.Progress = progressPrinter(name)
+		}
+		fmt.Fprintf(tables, "== %s ==\n", name)
+		if err := e.Run(o, tables); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(tables)
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{
-			"table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9",
-			"baseline", "granularity", "probes", "writeback", "dircache",
-		} {
+		for _, name := range experiments.Names() {
 			run(name)
 		}
-		return
+	} else {
+		run(*exp)
 	}
-	run(*exp)
+
+	if wantJSON {
+		rep := rec.Report(opts)
+		if *outFile != "" {
+			f, err := os.Create(*outFile)
+			if err != nil {
+				fatal(err)
+			}
+			if err := rep.Write(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "tccbench: wrote %d cells to %s\n", len(rep.Cells), *outFile)
+		} else if err := rep.Write(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// progressPrinter returns a harness progress callback that keeps one
+// updating status line per experiment on stderr.
+func progressPrinter(name string) func(done, total int) {
+	return func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\r%s: %d/%d", name, done, total)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
 }
 
 func parseInts(s string) ([]int, error) {
@@ -134,12 +156,6 @@ func parseInts(s string) ([]int, error) {
 		out = append(out, v)
 	}
 	return out, nil
-}
-
-func exitOn(err error) {
-	if err != nil {
-		fatal(err)
-	}
 }
 
 func fatal(err error) {

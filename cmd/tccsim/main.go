@@ -53,9 +53,9 @@ func main() {
 		return
 	}
 
-	prof, ok := tcc.ProfileByName(*app)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "tccsim: unknown app %q (try -list)\n", *app)
+	prof, err := tcc.ProfileByNameErr(*app)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tccsim: %v (try -list)\n", err)
 		os.Exit(1)
 	}
 	prof = prof.Scale(*scale)

@@ -94,6 +94,18 @@ func (r *Results) Speedup(base *Results) float64 {
 	return float64(base.Cycles) / float64(r.Cycles)
 }
 
+// Summary returns the machine-independent digest shared with the scalable
+// design (the tcc.Summarizer interface).
+func (r *Results) Summary() stats.Summary {
+	return stats.Summary{
+		Cycles:       uint64(r.Cycles),
+		Instructions: r.Instr,
+		Commits:      r.Commits,
+		Violations:   r.Violations,
+		Breakdown:    r.Breakdown,
+	}
+}
+
 // System is the assembled bus-based TCC machine.
 type System struct {
 	cfg    Config

@@ -228,6 +228,18 @@ func (r *Results) Speedup(base *Results) float64 {
 	return float64(base.Cycles) / float64(r.Cycles)
 }
 
+// Summary returns the machine-independent digest shared with the baseline
+// design (the tcc.Summarizer interface).
+func (r *Results) Summary() stats.Summary {
+	return stats.Summary{
+		Cycles:       uint64(r.Cycles),
+		Instructions: r.Instr,
+		Commits:      r.Commits,
+		Violations:   r.Violations,
+		Breakdown:    r.Breakdown,
+	}
+}
+
 // BytesPerInstr returns total remote traffic per committed instruction, the
 // Figure 9 metric.
 func (r *Results) BytesPerInstr() float64 {

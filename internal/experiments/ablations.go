@@ -39,44 +39,38 @@ type BaselineCell struct {
 // volrend (commit-heavy), equake (communication-heavy), SPECjbb (embarrassingly
 // parallel).
 func BaselineComparison(opts Options) ([]BaselineCell, error) {
-	apps := opts.Apps
-	if len(apps) == 0 {
-		apps = []string{"commitbound", "volrend", "equake", "SPECjbb2000"}
+	if err := opts.Normalize(); err != nil {
+		return nil, err
+	}
+	apps := opts.appsOr([]string{"commitbound", "volrend", "equake", "SPECjbb2000"})
+	var jobs []Job
+	for _, app := range apps {
+		for _, procs := range opts.Procs {
+			jobs = append(jobs,
+				Job{App: app, Procs: procs},
+				Job{App: app, Procs: procs, Baseline: true})
+		}
+	}
+	outs, err := opts.runMatrix("baseline", jobs)
+	if err != nil {
+		return nil, err
 	}
 	var cells []BaselineCell
-	for _, app := range apps {
-		prof, ok := tcc.ProfileByName(app)
-		if !ok {
-			return nil, fmt.Errorf("experiments: unknown app %q", app)
-		}
-		prof = prof.Scale(opts.scale())
-		var scalBase, busBase uint64
-		for _, procs := range opts.procs() {
-			res, err := opts.run(app, procs, nil)
-			if err != nil {
-				return nil, err
-			}
-			bcfg := tcc.DefaultBaselineConfig(procs)
-			bcfg.Seed = opts.seed()
-			bcfg.MaxCycles = 50_000_000_000
-			bres, err := tcc.RunBaseline(bcfg, prof.Build(procs, bcfg.Seed))
-			if err != nil {
-				return nil, fmt.Errorf("experiments: baseline %s on %d procs: %w", app, procs, err)
-			}
-			if scalBase == 0 {
-				scalBase = uint64(res.Cycles)
-				busBase = uint64(bres.Cycles)
-			}
-			cells = append(cells, BaselineCell{
-				App:             app,
-				Procs:           procs,
-				ScalableCycles:  uint64(res.Cycles),
-				BaselineCycles:  uint64(bres.Cycles),
-				ScalableSpeedup: float64(scalBase) / float64(res.Cycles),
-				BaselineSpeedup: float64(busBase) / float64(bres.Cycles),
-				BusBusyFraction: float64(bres.BusBusy) / float64(bres.Cycles),
-			})
-		}
+	for i := 0; i < len(jobs); i += 2 {
+		res, bres := outs[i].Results, outs[i+1].Baseline
+		pair := i / 2
+		first := i - 2*(pair%len(opts.Procs)) // the app's first sweep point
+		scalBase := uint64(outs[first].Results.Cycles)
+		busBase := uint64(outs[first+1].Baseline.Cycles)
+		cells = append(cells, BaselineCell{
+			App:             jobs[i].App,
+			Procs:           jobs[i].Procs,
+			ScalableCycles:  uint64(res.Cycles),
+			BaselineCycles:  uint64(bres.Cycles),
+			ScalableSpeedup: float64(scalBase) / float64(res.Cycles),
+			BaselineSpeedup: float64(busBase) / float64(bres.Cycles),
+			BusBusyFraction: float64(bres.BusBusy) / float64(bres.Cycles),
+		})
 	}
 	return cells, nil
 }
@@ -110,23 +104,31 @@ type GranularityRow struct {
 // Granularity runs each app at opts.MaxProcs under both granularities. The
 // falseshare stress profile shows the extreme case.
 func Granularity(opts Options) ([]GranularityRow, error) {
-	apps := opts.Apps
-	if len(apps) == 0 {
-		apps = []string{"falseshare", "equake", "water-nsquared", "barnes"}
+	if err := opts.Normalize(); err != nil {
+		return nil, err
+	}
+	apps := opts.appsOr([]string{"falseshare", "equake", "water-nsquared", "barnes"})
+	var jobs []Job
+	for _, app := range apps {
+		jobs = append(jobs,
+			Job{App: app, Procs: opts.MaxProcs},
+			Job{
+				App:    app,
+				Procs:  opts.MaxProcs,
+				Knobs:  map[string]any{"granularity": "line"},
+				Mutate: func(c *tcc.Config) { c.LineGranularity = true },
+			})
+	}
+	outs, err := opts.runMatrix("granularity", jobs)
+	if err != nil {
+		return nil, err
 	}
 	var rows []GranularityRow
-	for _, app := range apps {
-		word, err := opts.run(app, opts.maxProcs(), nil)
-		if err != nil {
-			return nil, err
-		}
-		line, err := opts.run(app, opts.maxProcs(), func(c *tcc.Config) { c.LineGranularity = true })
-		if err != nil {
-			return nil, err
-		}
+	for i := 0; i < len(jobs); i += 2 {
+		word, line := outs[i].Results, outs[i+1].Results
 		rows = append(rows, GranularityRow{
-			App:            app,
-			Procs:          opts.maxProcs(),
+			App:            jobs[i].App,
+			Procs:          opts.MaxProcs,
 			WordViolations: word.Violations,
 			LineViolations: line.Violations,
 			WordCycles:     uint64(word.Cycles),
@@ -165,23 +167,31 @@ type ProbeRow struct {
 
 // Probes runs commit-bound workloads under both probe policies.
 func Probes(opts Options) ([]ProbeRow, error) {
-	apps := opts.Apps
-	if len(apps) == 0 {
-		apps = []string{"commitbound", "volrend", "equake"}
+	if err := opts.Normalize(); err != nil {
+		return nil, err
+	}
+	apps := opts.appsOr([]string{"commitbound", "volrend", "equake"})
+	var jobs []Job
+	for _, app := range apps {
+		jobs = append(jobs,
+			Job{App: app, Procs: opts.MaxProcs},
+			Job{
+				App:    app,
+				Procs:  opts.MaxProcs,
+				Knobs:  map[string]any{"probing": "repeated"},
+				Mutate: func(c *tcc.Config) { c.RepeatedProbing = true },
+			})
+	}
+	outs, err := opts.runMatrix("probes", jobs)
+	if err != nil {
+		return nil, err
 	}
 	var rows []ProbeRow
-	for _, app := range apps {
-		def, err := opts.run(app, opts.maxProcs(), nil)
-		if err != nil {
-			return nil, err
-		}
-		rep, err := opts.run(app, opts.maxProcs(), func(c *tcc.Config) { c.RepeatedProbing = true })
-		if err != nil {
-			return nil, err
-		}
+	for i := 0; i < len(jobs); i += 2 {
+		def, rep := outs[i].Results, outs[i+1].Results
 		rows = append(rows, ProbeRow{
-			App:                 app,
-			Procs:               opts.maxProcs(),
+			App:                 jobs[i].App,
+			Procs:               opts.MaxProcs,
 			DeferredCycles:      uint64(def.Cycles),
 			RepeatedCycles:      uint64(rep.Cycles),
 			RepeatedSlowdown:    float64(rep.Cycles) / float64(def.Cycles),
@@ -218,23 +228,31 @@ type WriteBackRow struct {
 
 // WriteBack runs each app under both commit data policies.
 func WriteBack(opts Options) ([]WriteBackRow, error) {
-	apps := opts.Apps
-	if len(apps) == 0 {
-		apps = []string{"swim", "tomcatv", "radix", "barnes"}
+	if err := opts.Normalize(); err != nil {
+		return nil, err
+	}
+	apps := opts.appsOr([]string{"swim", "tomcatv", "radix", "barnes"})
+	var jobs []Job
+	for _, app := range apps {
+		jobs = append(jobs,
+			Job{App: app, Procs: opts.MaxProcs},
+			Job{
+				App:    app,
+				Procs:  opts.MaxProcs,
+				Knobs:  map[string]any{"commit_data": "write-through"},
+				Mutate: func(c *tcc.Config) { c.WriteThroughCommit = true },
+			})
+	}
+	outs, err := opts.runMatrix("writeback", jobs)
+	if err != nil {
+		return nil, err
 	}
 	var rows []WriteBackRow
-	for _, app := range apps {
-		wb, err := opts.run(app, opts.maxProcs(), nil)
-		if err != nil {
-			return nil, err
-		}
-		wt, err := opts.run(app, opts.maxProcs(), func(c *tcc.Config) { c.WriteThroughCommit = true })
-		if err != nil {
-			return nil, err
-		}
+	for i := 0; i < len(jobs); i += 2 {
+		wb, wt := outs[i].Results, outs[i+1].Results
 		rows = append(rows, WriteBackRow{
-			App:                  app,
-			Procs:                opts.maxProcs(),
+			App:                  jobs[i].App,
+			Procs:                opts.MaxProcs,
 			WriteBackBPI:         wb.BytesPerInstr(),
 			WriteThroughBPI:      wt.BytesPerInstr(),
 			TrafficAmplification: wt.BytesPerInstr() / wb.BytesPerInstr(),
@@ -270,37 +288,42 @@ type DirCacheRow struct {
 }
 
 // DirCache sweeps directory-cache capacities for apps with small and large
-// directory working sets.
+// directory working sets. The unbounded configuration leads each app's
+// series as the normalization base.
 func DirCache(opts Options) ([]DirCacheRow, error) {
-	apps := opts.Apps
-	if len(apps) == 0 {
-		apps = []string{"barnes", "radix", "SPECjbb2000"}
+	if err := opts.Normalize(); err != nil {
+		return nil, err
 	}
-	capacities := []int{128, 1024, 8192, 0}
-	var rows []DirCacheRow
+	apps := opts.appsOr([]string{"barnes", "radix", "SPECjbb2000"})
+	capacities := []int{0, 8192, 1024, 128}
+	var jobs []Job
 	for _, app := range apps {
-		var base uint64
-		// Run the unbounded configuration first for the normalization base.
-		for i := len(capacities) - 1; i >= 0; i-- {
-			entries := capacities[i]
-			res, err := opts.run(app, opts.maxProcs(), func(c *tcc.Config) {
-				c.DirCacheEntries = entries
-			})
-			if err != nil {
-				return nil, err
-			}
-			if entries == 0 {
-				base = uint64(res.Cycles)
-			}
-			rows = append(rows, DirCacheRow{
-				App:      app,
-				Procs:    opts.maxProcs(),
-				Entries:  entries,
-				Misses:   res.DirCacheMisses,
-				Cycles:   uint64(res.Cycles),
-				Slowdown: float64(res.Cycles) / float64(base),
+		for _, entries := range capacities {
+			e := entries
+			jobs = append(jobs, Job{
+				App:    app,
+				Procs:  opts.MaxProcs,
+				Knobs:  map[string]any{"dir_cache_entries": e},
+				Mutate: func(c *tcc.Config) { c.DirCacheEntries = e },
 			})
 		}
+	}
+	outs, err := opts.runMatrix("dircache", jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []DirCacheRow
+	for i, j := range jobs {
+		res := outs[i].Results
+		base := outs[i-i%len(capacities)].Results // the unbounded run
+		rows = append(rows, DirCacheRow{
+			App:      j.App,
+			Procs:    opts.MaxProcs,
+			Entries:  j.Knobs["dir_cache_entries"].(int),
+			Misses:   res.DirCacheMisses,
+			Cycles:   uint64(res.Cycles),
+			Slowdown: float64(res.Cycles) / float64(base.Cycles),
+		})
 	}
 	return rows, nil
 }

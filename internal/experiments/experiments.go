@@ -1,35 +1,128 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation (Section 4), plus the ablations DESIGN.md calls out. Each
-// experiment has a typed runner (returning rows the benchmarks and tests can
-// assert on) and a printer that emits the same row/series structure the
-// paper reports. cmd/tccbench is a thin flag wrapper around this package.
+// evaluation (Section 4), plus the ablations DESIGN.md calls out.
+//
+// Each experiment is a typed runner: it declares its job matrix (one Job
+// per (app, procs, config) cell), hands the matrix to internal/harness —
+// which fans the fully independent simulations across Options.Parallel
+// worker goroutines — and reduces the index-ordered results to typed rows.
+// Because results come back keyed by job index, never completion order,
+// the printed tables are byte-identical whatever the worker count. The
+// optional Recorder captures one machine-readable Cell per simulation for
+// the JSON sink. cmd/tccbench is a thin flag wrapper around this package.
 package experiments
 
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"text/tabwriter"
+	"time"
 
+	"scalabletcc/internal/harness"
 	"scalabletcc/internal/mesh"
 	"scalabletcc/internal/stats"
 	"scalabletcc/tcc"
 )
 
-// Options scope an experiment run.
+// watchdogCycles aborts any single run that wedges (deadlock insurance for
+// full-size sweeps; no legitimate run approaches it).
+const watchdogCycles = 50_000_000_000
+
+// Options scope an experiment run. Construct with DefaultOptions and
+// override fields: scalar fields have no zero-value fallback — Normalize
+// rejects an invalid Seed, Scale, MaxProcs, or Parallel loudly instead of
+// silently rewriting it — while empty sweep lists (Apps, Procs,
+// HopLatencies) mean "the experiment's default set".
 type Options struct {
-	Apps         []string // profile names; nil = the paper's eleven
-	Procs        []int    // processor counts for Figure 7; nil = 1..64
-	MaxProcs     int      // processor count for Table 3 / Figures 8, 9; 0 = 64
-	Scale        float64  // workload scale factor; 0 = 1.0
-	Seed         uint64   // 0 = 1
+	Apps         []string // profile names; empty = experiment-specific default set
+	Procs        []int    // processor counts for sweeps; empty = {1,2,4,8,16,32,64}
+	MaxProcs     int      // machine size for Table 3 / Figures 8, 9 / ablations
+	Scale        float64  // workload scale factor
+	Seed         uint64   // simulation seed (must be >= 1)
 	Verify       bool     // run the serializability oracle on every run
-	HopLatencies []int    // Figure 8 sweep; nil = {1, 2, 4, 8}
+	HopLatencies []int    // Figure 8 sweep; empty = {1, 2, 4, 8}
+
+	// Parallel is the number of worker goroutines independent simulations
+	// are fanned across; 1 runs the matrix sequentially.
+	Parallel int
+
+	// JobTimeout bounds each simulation's wall-clock time (0 = none).
+	JobTimeout time.Duration
+
+	// Progress, if non-nil, is called after each completed simulation with
+	// (completed, total). Calls arrive in completion order.
+	Progress func(done, total int)
+
+	// Record, if non-nil, receives one Cell per simulation for the
+	// machine-readable report.
+	Record *Recorder
 }
 
-func (o Options) apps() []string {
+// DefaultOptions returns the paper's evaluation defaults: full-size
+// workloads, seed 1, a 64-processor top machine, and one worker per
+// available CPU.
+func DefaultOptions() Options {
+	return Options{
+		MaxProcs: 64,
+		Scale:    1.0,
+		Seed:     1,
+		Parallel: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Normalize validates o in place and fills the sweep-list defaults. It
+// reports — rather than rewrites — invalid scalar fields, so a caller that
+// forgot DefaultOptions fails loudly on the first run.
+func (o *Options) Normalize() error {
+	if o.Seed == 0 {
+		return fmt.Errorf("experiments: Seed 0 is invalid (seeds start at 1; build Options with DefaultOptions)")
+	}
+	if o.Scale <= 0 {
+		return fmt.Errorf("experiments: Scale %v is invalid (must be > 0)", o.Scale)
+	}
+	if o.MaxProcs < 1 {
+		return fmt.Errorf("experiments: MaxProcs %d is invalid (must be >= 1)", o.MaxProcs)
+	}
+	if o.Parallel < 1 {
+		return fmt.Errorf("experiments: Parallel %d is invalid (must be >= 1; DefaultOptions uses GOMAXPROCS)", o.Parallel)
+	}
+	if o.JobTimeout < 0 {
+		return fmt.Errorf("experiments: negative JobTimeout %v", o.JobTimeout)
+	}
+	for _, app := range o.Apps {
+		if _, err := tcc.ProfileByNameErr(app); err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+	}
+	if len(o.Procs) == 0 {
+		o.Procs = []int{1, 2, 4, 8, 16, 32, 64}
+	}
+	for _, p := range o.Procs {
+		if p < 1 {
+			return fmt.Errorf("experiments: processor count %d is invalid", p)
+		}
+	}
+	if len(o.HopLatencies) == 0 {
+		o.HopLatencies = []int{1, 2, 4, 8}
+	}
+	for _, h := range o.HopLatencies {
+		if h < 1 {
+			return fmt.Errorf("experiments: hop latency %d is invalid", h)
+		}
+	}
+	return nil
+}
+
+// appsOr returns the explicit app list or the experiment's default set.
+func (o Options) appsOr(def []string) []string {
 	if len(o.Apps) > 0 {
 		return o.Apps
 	}
+	return def
+}
+
+// allAppNames returns the paper's eleven Table 3 applications.
+func allAppNames() []string {
 	var names []string
 	for _, p := range tcc.Profiles() {
 		names = append(names, p.Name)
@@ -37,67 +130,97 @@ func (o Options) apps() []string {
 	return names
 }
 
-func (o Options) procs() []int {
-	if len(o.Procs) > 0 {
-		return o.Procs
-	}
-	return []int{1, 2, 4, 8, 16, 32, 64}
+// ---------------------------------------------------------------------------
+// The job matrix: what an experiment declares, what the harness executes.
+
+// Job is one cell of an experiment's matrix: an application at a machine
+// size under an optional configuration variation.
+type Job struct {
+	App   string
+	Procs int
+
+	// Knobs label the variation for the machine-readable sink (for
+	// example {"hop_latency": 4}); nil means the default machine.
+	Knobs map[string]any
+
+	// Mutate applies the variation to the scalable machine's config.
+	Mutate func(*tcc.Config)
+
+	// Baseline runs the bus-based small-scale TCC design instead of the
+	// scalable machine.
+	Baseline bool
 }
 
-func (o Options) maxProcs() int {
-	if o.MaxProcs > 0 {
-		return o.MaxProcs
-	}
-	return 64
+// RunResult is one executed Job; exactly one field is non-nil.
+type RunResult struct {
+	Results  *tcc.Results
+	Baseline *tcc.BaselineResults
 }
 
-func (o Options) scale() float64 {
-	if o.Scale > 0 {
-		return o.Scale
+func (r RunResult) summary() tcc.Summary {
+	if r.Baseline != nil {
+		return r.Baseline.Summary()
 	}
-	return 1.0
+	return r.Results.Summary()
 }
 
-func (o Options) seed() uint64 {
-	if o.Seed != 0 {
-		return o.Seed
-	}
-	return 1
-}
-
-func (o Options) hops() []int {
-	if len(o.HopLatencies) > 0 {
-		return o.HopLatencies
-	}
-	return []int{1, 2, 4, 8}
-}
-
-// run executes one app at one processor count with optional config mutation.
-func (o Options) run(app string, procs int, mutate func(*tcc.Config)) (*tcc.Results, error) {
-	prof, ok := tcc.ProfileByName(app)
-	if !ok {
-		return nil, fmt.Errorf("experiments: unknown app %q", app)
-	}
-	prof = prof.Scale(o.scale())
-	cfg := tcc.DefaultConfig(procs)
-	cfg.Seed = o.seed()
-	cfg.MaxCycles = 50_000_000_000
-	cfg.CollectCommitLog = o.Verify
-	if mutate != nil {
-		mutate(&cfg)
-	}
-	prog := prof.Build(procs, cfg.Seed)
-	res, err := tcc.Run(cfg, prog)
+// runJob executes one matrix cell. The config is validated after the
+// mutate hook so a bad sweep knob fails with a config error instead of
+// deep inside core.
+func (o Options) runJob(j Job) (RunResult, error) {
+	prof, err := tcc.ProfileByNameErr(j.App)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: %s on %d procs: %w", app, procs, err)
+		return RunResult{}, fmt.Errorf("experiments: %w", err)
+	}
+	prof = prof.Scale(o.Scale)
+	if j.Baseline {
+		bcfg := tcc.DefaultBaselineConfig(j.Procs)
+		bcfg.Seed = o.Seed
+		bcfg.MaxCycles = watchdogCycles
+		res, err := tcc.RunBaseline(bcfg, prof.Build(j.Procs, bcfg.Seed))
+		if err != nil {
+			return RunResult{}, fmt.Errorf("experiments: baseline %s on %d procs: %w", j.App, j.Procs, err)
+		}
+		return RunResult{Baseline: res}, nil
+	}
+	cfg := tcc.DefaultConfig(j.Procs)
+	cfg.Seed = o.Seed
+	cfg.MaxCycles = watchdogCycles
+	cfg.CollectCommitLog = o.Verify
+	if j.Mutate != nil {
+		j.Mutate(&cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		return RunResult{}, fmt.Errorf("experiments: %s on %d procs: invalid config: %w", j.App, j.Procs, err)
+	}
+	res, err := tcc.Run(cfg, prof.Build(j.Procs, cfg.Seed))
+	if err != nil {
+		return RunResult{}, fmt.Errorf("experiments: %s on %d procs: %w", j.App, j.Procs, err)
 	}
 	if o.Verify {
 		if viols := tcc.Verify(res); len(viols) != 0 {
-			return nil, fmt.Errorf("experiments: %s on %d procs: %d serializability violations (first: %v)",
-				app, procs, len(viols), viols[0])
+			return RunResult{}, fmt.Errorf("experiments: %s on %d procs: %d serializability violations (first: %v)",
+				j.App, j.Procs, len(viols), viols[0])
 		}
 	}
-	return res, nil
+	return RunResult{Results: res}, nil
+}
+
+// runMatrix fans one experiment's jobs across o.Parallel workers and
+// returns results ordered by job index — never completion order — so any
+// reduction or printing downstream is byte-identical to a sequential run.
+// Completed cells are also handed to o.Record for the JSON sink.
+func (o Options) runMatrix(experiment string, jobs []Job) ([]RunResult, error) {
+	outs, err := harness.Map(harness.Config{
+		Workers:    o.Parallel,
+		Timeout:    o.JobTimeout,
+		OnProgress: o.Progress,
+	}, jobs, func(_ int, j Job) (RunResult, error) { return o.runJob(j) })
+	if err != nil {
+		return nil, err
+	}
+	o.Record.add(experiment, jobs, outs)
+	return outs, nil
 }
 
 func newTab(w io.Writer) *tabwriter.Writer {
@@ -159,16 +282,21 @@ type Table3Row struct {
 // Table3 measures each application's fingerprint at opts.MaxProcs (the
 // paper reports the 32-processor case).
 func Table3(opts Options) ([]Table3Row, error) {
-	procs := opts.MaxProcs
-	if procs == 0 {
-		procs = 32
+	if err := opts.Normalize(); err != nil {
+		return nil, err
+	}
+	apps := opts.appsOr(allAppNames())
+	var jobs []Job
+	for _, app := range apps {
+		jobs = append(jobs, Job{App: app, Procs: opts.MaxProcs})
+	}
+	outs, err := opts.runMatrix("table3", jobs)
+	if err != nil {
+		return nil, err
 	}
 	var rows []Table3Row
-	for _, app := range opts.apps() {
-		res, err := opts.run(app, procs, nil)
-		if err != nil {
-			return nil, err
-		}
+	for i, j := range jobs {
+		res := outs[i].Results
 		var wrWordsPerTx float64
 		if res.Commits > 0 {
 			wrWordsPerTx = float64(res.WrSetBytesP90) / 4
@@ -178,7 +306,7 @@ func Table3(opts Options) ([]Table3Row, error) {
 			ops = float64(res.TxInstrP90) / wrWordsPerTx
 		}
 		rows = append(rows, Table3Row{
-			App:              app,
+			App:              j.App,
 			TxInstrP90:       res.TxInstrP90,
 			WrSetKBP90:       float64(res.WrSetBytesP90) / 1024,
 			RdSetKBP90:       float64(res.RdSetBytesP90) / 1024,
@@ -219,14 +347,23 @@ type Fig6Row struct {
 
 // Fig6 runs every application on one processor.
 func Fig6(opts Options) ([]Fig6Row, error) {
+	if err := opts.Normalize(); err != nil {
+		return nil, err
+	}
+	apps := opts.appsOr(allAppNames())
+	var jobs []Job
+	for _, app := range apps {
+		jobs = append(jobs, Job{App: app, Procs: 1})
+	}
+	outs, err := opts.runMatrix("fig6", jobs)
+	if err != nil {
+		return nil, err
+	}
 	var rows []Fig6Row
-	for _, app := range opts.apps() {
-		res, err := opts.run(app, 1, nil)
-		if err != nil {
-			return nil, err
-		}
+	for i, j := range jobs {
+		res := outs[i].Results
 		rows = append(rows, Fig6Row{
-			App:            app,
+			App:            j.App,
 			Cycles:         uint64(res.Cycles),
 			Breakdown:      res.Breakdown,
 			CommitFraction: res.Breakdown.Fraction(stats.Commit),
@@ -258,29 +395,35 @@ type Fig7Cell struct {
 	Violations uint64
 }
 
-// Fig7 sweeps processor counts for every application; the 1-processor run
-// is the normalization base.
+// Fig7 sweeps processor counts for every application; each app's first
+// sweep point is its normalization base.
 func Fig7(opts Options) ([]Fig7Cell, error) {
-	var cells []Fig7Cell
-	for _, app := range opts.apps() {
-		var base *tcc.Results
-		for _, procs := range opts.procs() {
-			res, err := opts.run(app, procs, nil)
-			if err != nil {
-				return nil, err
-			}
-			if base == nil {
-				base = res
-			}
-			cells = append(cells, Fig7Cell{
-				App:        app,
-				Procs:      procs,
-				Cycles:     uint64(res.Cycles),
-				Speedup:    res.Speedup(base),
-				Breakdown:  res.Breakdown,
-				Violations: res.Violations,
-			})
+	if err := opts.Normalize(); err != nil {
+		return nil, err
+	}
+	apps := opts.appsOr(allAppNames())
+	var jobs []Job
+	for _, app := range apps {
+		for _, procs := range opts.Procs {
+			jobs = append(jobs, Job{App: app, Procs: procs})
 		}
+	}
+	outs, err := opts.runMatrix("fig7", jobs)
+	if err != nil {
+		return nil, err
+	}
+	var cells []Fig7Cell
+	for i, j := range jobs {
+		res := outs[i].Results
+		base := outs[i-i%len(opts.Procs)].Results // the app's first sweep point
+		cells = append(cells, Fig7Cell{
+			App:        j.App,
+			Procs:      j.Procs,
+			Cycles:     uint64(res.Cycles),
+			Speedup:    res.Speedup(base),
+			Breakdown:  res.Breakdown,
+			Violations: res.Violations,
+		})
 	}
 	return cells, nil
 }
@@ -315,26 +458,37 @@ type Fig8Cell struct {
 
 // Fig8 sweeps mesh hop latency at opts.MaxProcs processors.
 func Fig8(opts Options) ([]Fig8Cell, error) {
-	var cells []Fig8Cell
-	for _, app := range opts.apps() {
-		var base uint64
-		for _, hop := range opts.hops() {
+	if err := opts.Normalize(); err != nil {
+		return nil, err
+	}
+	apps := opts.appsOr(allAppNames())
+	var jobs []Job
+	for _, app := range apps {
+		for _, hop := range opts.HopLatencies {
 			h := hop
-			res, err := opts.run(app, opts.maxProcs(), func(c *tcc.Config) { c.HopLatency = h })
-			if err != nil {
-				return nil, err
-			}
-			if base == 0 {
-				base = uint64(res.Cycles)
-			}
-			cells = append(cells, Fig8Cell{
-				App:            app,
-				HopCycles:      hop,
-				Cycles:         uint64(res.Cycles),
-				SlowdownVsHop1: float64(res.Cycles) / float64(base),
-				Breakdown:      res.Breakdown,
+			jobs = append(jobs, Job{
+				App:    app,
+				Procs:  opts.MaxProcs,
+				Knobs:  map[string]any{"hop_latency": h},
+				Mutate: func(c *tcc.Config) { c.HopLatency = h },
 			})
 		}
+	}
+	outs, err := opts.runMatrix("fig8", jobs)
+	if err != nil {
+		return nil, err
+	}
+	var cells []Fig8Cell
+	for i, j := range jobs {
+		res := outs[i].Results
+		base := outs[i-i%len(opts.HopLatencies)].Results // the app's first hop point
+		cells = append(cells, Fig8Cell{
+			App:            j.App,
+			HopCycles:      j.Knobs["hop_latency"].(int),
+			Cycles:         uint64(res.Cycles),
+			SlowdownVsHop1: float64(res.Cycles) / float64(base.Cycles),
+			Breakdown:      res.Breakdown,
+		})
 	}
 	return cells, nil
 }
@@ -364,14 +518,23 @@ type Fig9Row struct {
 
 // Fig9 measures per-class network traffic at opts.MaxProcs processors.
 func Fig9(opts Options) ([]Fig9Row, error) {
+	if err := opts.Normalize(); err != nil {
+		return nil, err
+	}
+	apps := opts.appsOr(allAppNames())
+	var jobs []Job
+	for _, app := range apps {
+		jobs = append(jobs, Job{App: app, Procs: opts.MaxProcs})
+	}
+	outs, err := opts.runMatrix("fig9", jobs)
+	if err != nil {
+		return nil, err
+	}
 	var rows []Fig9Row
-	for _, app := range opts.apps() {
-		res, err := opts.run(app, opts.maxProcs(), nil)
-		if err != nil {
-			return nil, err
-		}
+	for i, j := range jobs {
+		res := outs[i].Results
 		rows = append(rows, Fig9Row{
-			App:            app,
+			App:            j.App,
 			CommitOverhead: res.ClassBytesPerInstr(mesh.ClassCommit),
 			Miss:           res.ClassBytesPerInstr(mesh.ClassMiss),
 			WriteBack:      res.ClassBytesPerInstr(mesh.ClassWriteBack),

@@ -9,13 +9,13 @@ import (
 
 // tiny returns options small enough for unit testing.
 func tiny() Options {
-	return Options{
-		Scale:    0.05,
-		MaxProcs: 8,
-		Procs:    []int{1, 8},
-		Apps:     []string{"barnes", "equake"},
-		Verify:   true,
-	}
+	o := DefaultOptions()
+	o.Scale = 0.05
+	o.MaxProcs = 8
+	o.Procs = []int{1, 8}
+	o.Apps = []string{"barnes", "equake"}
+	o.Verify = true
+	return o
 }
 
 func TestMessageTable(t *testing.T) {
@@ -150,7 +150,10 @@ func TestFig9TrafficShape(t *testing.T) {
 }
 
 func TestBaselineComparison(t *testing.T) {
-	opts := Options{Scale: 0.05, Procs: []int{1, 8}, Apps: []string{"commitbound"}}
+	opts := DefaultOptions()
+	opts.Scale = 0.05
+	opts.Procs = []int{1, 8}
+	opts.Apps = []string{"commitbound"}
 	cells, err := BaselineComparison(opts)
 	if err != nil {
 		t.Fatal(err)
@@ -166,7 +169,10 @@ func TestBaselineComparison(t *testing.T) {
 }
 
 func TestGranularityAblation(t *testing.T) {
-	opts := Options{Scale: 0.25, MaxProcs: 8, Apps: []string{"falseshare"}}
+	opts := DefaultOptions()
+	opts.Scale = 0.25
+	opts.MaxProcs = 8
+	opts.Apps = []string{"falseshare"}
 	rows, err := Granularity(opts)
 	if err != nil {
 		t.Fatal(err)
@@ -182,7 +188,10 @@ func TestGranularityAblation(t *testing.T) {
 }
 
 func TestProbesAblation(t *testing.T) {
-	opts := Options{Scale: 0.05, MaxProcs: 8, Apps: []string{"commitbound"}}
+	opts := DefaultOptions()
+	opts.Scale = 0.05
+	opts.MaxProcs = 8
+	opts.Apps = []string{"commitbound"}
 	rows, err := Probes(opts)
 	if err != nil {
 		t.Fatal(err)
@@ -196,7 +205,10 @@ func TestProbesAblation(t *testing.T) {
 }
 
 func TestWriteBackAblation(t *testing.T) {
-	opts := Options{Scale: 0.05, MaxProcs: 8, Apps: []string{"swim"}}
+	opts := DefaultOptions()
+	opts.Scale = 0.05
+	opts.MaxProcs = 8
+	opts.Apps = []string{"swim"}
 	rows, err := WriteBack(opts)
 	if err != nil {
 		t.Fatal(err)
@@ -211,14 +223,19 @@ func TestWriteBackAblation(t *testing.T) {
 }
 
 func TestUnknownAppErrors(t *testing.T) {
-	opts := Options{Apps: []string{"nope"}, Procs: []int{1}}
+	opts := DefaultOptions()
+	opts.Apps = []string{"nope"}
+	opts.Procs = []int{1}
 	if _, err := Fig7(opts); err == nil {
 		t.Fatal("unknown app accepted")
 	}
 }
 
 func TestDirCacheAblation(t *testing.T) {
-	opts := Options{Scale: 0.05, MaxProcs: 8, Apps: []string{"barnes"}}
+	opts := DefaultOptions()
+	opts.Scale = 0.05
+	opts.MaxProcs = 8
+	opts.Apps = []string{"barnes"}
 	rows, err := DirCache(opts)
 	if err != nil {
 		t.Fatal(err)
@@ -260,11 +277,10 @@ func TestPaperShapeClaims(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-run shape test")
 	}
-	opts := Options{
-		Scale: 0.25,
-		Procs: []int{1, 16},
-		Apps:  []string{"SPECjbb2000", "water-spatial", "water-nsquared", "equake", "volrend", "SVM-Classify"},
-	}
+	opts := DefaultOptions()
+	opts.Scale = 0.25
+	opts.Procs = []int{1, 16}
+	opts.Apps = []string{"SPECjbb2000", "water-spatial", "water-nsquared", "equake", "volrend", "SVM-Classify"}
 	cells, err := Fig7(opts)
 	if err != nil {
 		t.Fatal(err)

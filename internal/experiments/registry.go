@@ -1,0 +1,137 @@
+// The experiment registry: one named entry per paper artifact, each
+// coupling its typed runner to its printer. cmd/tccbench resolves names
+// against this table instead of hard-coding a switch, and "all" is simply
+// the registry in order.
+
+package experiments
+
+import (
+	"io"
+
+	"scalabletcc/tcc"
+)
+
+// Experiment is a named, runnable entry: Run executes the experiment's job
+// matrix under o and prints the ordered rows to w.
+type Experiment struct {
+	Name  string
+	Title string
+	Run   func(o Options, w io.Writer) error
+}
+
+// Registry returns every experiment in presentation order (tables, then
+// figures, then ablations).
+func Registry() []Experiment {
+	return []Experiment{
+		{"table1", "coherence-message vocabulary", func(o Options, w io.Writer) error {
+			Table1(w)
+			return nil
+		}},
+		{"table2", "simulated-architecture parameters", func(o Options, w io.Writer) error {
+			if err := o.Normalize(); err != nil {
+				return err
+			}
+			Table2(w, tcc.DefaultConfig(o.MaxProcs))
+			return nil
+		}},
+		{"table3", "application fingerprints", func(o Options, w io.Writer) error {
+			rows, err := Table3(o)
+			if err != nil {
+				return err
+			}
+			PrintTable3(w, rows)
+			return nil
+		}},
+		{"fig6", "single-processor breakdown", func(o Options, w io.Writer) error {
+			rows, err := Fig6(o)
+			if err != nil {
+				return err
+			}
+			PrintFig6(w, rows)
+			return nil
+		}},
+		{"fig7", "speedup scaling 1-64 CPUs", func(o Options, w io.Writer) error {
+			cells, err := Fig7(o)
+			if err != nil {
+				return err
+			}
+			PrintFig7(w, cells)
+			return nil
+		}},
+		{"fig8", "communication-latency sensitivity", func(o Options, w io.Writer) error {
+			cells, err := Fig8(o)
+			if err != nil {
+				return err
+			}
+			PrintFig8(w, cells)
+			return nil
+		}},
+		{"fig9", "remote traffic by class", func(o Options, w io.Writer) error {
+			rows, err := Fig9(o)
+			if err != nil {
+				return err
+			}
+			PrintFig9(w, rows)
+			return nil
+		}},
+		{"baseline", "bus-serialized commit vs parallel commit (A1)", func(o Options, w io.Writer) error {
+			cells, err := BaselineComparison(o)
+			if err != nil {
+				return err
+			}
+			PrintBaseline(w, cells)
+			return nil
+		}},
+		{"granularity", "word vs line conflict detection (A2)", func(o Options, w io.Writer) error {
+			rows, err := Granularity(o)
+			if err != nil {
+				return err
+			}
+			PrintGranularity(w, rows)
+			return nil
+		}},
+		{"probes", "deferred vs repeated probing (A3)", func(o Options, w io.Writer) error {
+			rows, err := Probes(o)
+			if err != nil {
+				return err
+			}
+			PrintProbes(w, rows)
+			return nil
+		}},
+		{"writeback", "write-back vs write-through commit (A4)", func(o Options, w io.Writer) error {
+			rows, err := WriteBack(o)
+			if err != nil {
+				return err
+			}
+			PrintWriteBack(w, rows)
+			return nil
+		}},
+		{"dircache", "directory-cache capacity (A5)", func(o Options, w io.Writer) error {
+			rows, err := DirCache(o)
+			if err != nil {
+				return err
+			}
+			PrintDirCache(w, rows)
+			return nil
+		}},
+	}
+}
+
+// ByName resolves one experiment from the registry.
+func ByName(name string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Names lists the registry's experiment names in order.
+func Names() []string {
+	var names []string
+	for _, e := range Registry() {
+		names = append(names, e.Name)
+	}
+	return names
+}

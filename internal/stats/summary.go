@@ -1,0 +1,66 @@
+// Summary is the machine-independent digest of one simulation run. Both
+// result types (the scalable machine's core.Results and the bus baseline's
+// baseline.Results) project onto it, so experiment and printer code that
+// only needs the headline counters can handle either machine through one
+// accessor instead of duplicating field plumbing.
+//
+// Its JSON wire form is versioned: the v1 field set below is frozen, and
+// any change of meaning or removal bumps the "v" discriminator. Breakdown
+// is serialized as fractions of total breakdown cycles (the form the
+// paper's stacked bars use), not raw cycle counts.
+
+package stats
+
+import "encoding/json"
+
+// SummaryVersion is the wire-format version emitted by Summary.MarshalJSON.
+const SummaryVersion = 1
+
+// Summary is the shared digest of one run: cycle count, committed
+// instruction/transaction counts, violations, and the five-way
+// execution-time breakdown.
+type Summary struct {
+	Cycles       uint64
+	Instructions uint64
+	Commits      uint64
+	Violations   uint64
+	Breakdown    Breakdown
+}
+
+// summaryJSON is the frozen v1 wire form.
+type summaryJSON struct {
+	V            int           `json:"v"`
+	Cycles       uint64        `json:"cycles"`
+	Instructions uint64        `json:"instructions"`
+	Commits      uint64        `json:"commits"`
+	Violations   uint64        `json:"violations"`
+	Breakdown    breakdownJSON `json:"breakdown"`
+}
+
+// breakdownJSON carries the breakdown as fractions in the paper's
+// stacking order.
+type breakdownJSON struct {
+	Useful    float64 `json:"useful"`
+	CacheMiss float64 `json:"cache_miss"`
+	Idle      float64 `json:"idle"`
+	Commit    float64 `json:"commit"`
+	Violation float64 `json:"violation"`
+}
+
+// MarshalJSON emits the stable, versioned v1 field set.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(summaryJSON{
+		V:            SummaryVersion,
+		Cycles:       s.Cycles,
+		Instructions: s.Instructions,
+		Commits:      s.Commits,
+		Violations:   s.Violations,
+		Breakdown: breakdownJSON{
+			Useful:    s.Breakdown.Fraction(Useful),
+			CacheMiss: s.Breakdown.Fraction(CacheMiss),
+			Idle:      s.Breakdown.Fraction(Idle),
+			Commit:    s.Breakdown.Fraction(Commit),
+			Violation: s.Breakdown.Fraction(Violation),
+		},
+	})
+}

@@ -1,0 +1,49 @@
+package stats
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestSummaryJSONStable pins the frozen v1 wire form: field set, key
+// names, and breakdown-as-fractions. A change here is a schema break and
+// must bump SummaryVersion.
+func TestSummaryJSONStable(t *testing.T) {
+	var b Breakdown
+	b.Add(Useful, 60)
+	b.Add(CacheMiss, 20)
+	b.Add(Idle, 10)
+	b.Add(Commit, 5)
+	b.Add(Violation, 5)
+	s := Summary{
+		Cycles:       1000,
+		Instructions: 900,
+		Commits:      12,
+		Violations:   3,
+		Breakdown:    b,
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"v":1,"cycles":1000,"instructions":900,"commits":12,"violations":3,` +
+		`"breakdown":{"useful":0.6,"cache_miss":0.2,"idle":0.1,"commit":0.05,"violation":0.05}}`
+	if string(data) != want {
+		t.Fatalf("Summary wire form changed:\n got %s\nwant %s", data, want)
+	}
+}
+
+func TestSummaryJSONEmptyBreakdown(t *testing.T) {
+	data, err := json.Marshal(Summary{Cycles: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	bd := doc["breakdown"].(map[string]any)
+	if bd["useful"] != float64(0) {
+		t.Fatalf("empty breakdown serialized as %v", bd)
+	}
+}

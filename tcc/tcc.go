@@ -30,6 +30,7 @@ import (
 	"scalabletcc/internal/mem"
 	"scalabletcc/internal/mesh"
 	"scalabletcc/internal/sim"
+	"scalabletcc/internal/stats"
 	"scalabletcc/internal/tape"
 	"scalabletcc/internal/verify"
 	"scalabletcc/internal/workload"
@@ -49,6 +50,24 @@ type Results = core.Results
 
 // BaselineResults summarizes a bus-based small-scale TCC run.
 type BaselineResults = baseline.Results
+
+// Summary is the machine-independent digest of one run — cycles, committed
+// instructions/transactions, violations, and the execution-time breakdown.
+// Its MarshalJSON emits a stable, versioned field set (breakdown as
+// fractions), which the tccbench JSON sink builds on.
+type Summary = stats.Summary
+
+// Summarizer is satisfied by both machines' result types (Results and
+// BaselineResults), so code comparing the scalable and baseline designs
+// can plumb one digest instead of duplicating per-machine field access.
+type Summarizer interface {
+	Summary() Summary
+}
+
+var (
+	_ Summarizer = (*Results)(nil)
+	_ Summarizer = (*BaselineResults)(nil)
+)
 
 // SerializabilityViolation is a failure found by the commit-log oracle.
 type SerializabilityViolation = verify.Violation
@@ -228,11 +247,24 @@ func StressProfiles() []Profile { return workload.StressProfiles() }
 // ProfileByName looks up a profile from Profiles or StressProfiles.
 func ProfileByName(name string) (Profile, bool) { return workload.ByName(name) }
 
-// MustProfile is ProfileByName that panics on unknown names.
-func MustProfile(name string) Profile {
+// ProfileByNameErr looks up a profile from Profiles or StressProfiles,
+// reporting an unknown name as an error. Library code should prefer this
+// over MustProfile so bad names propagate instead of panicking.
+func ProfileByNameErr(name string) (Profile, error) {
 	p, ok := workload.ByName(name)
 	if !ok {
-		panic(fmt.Sprintf("tcc: unknown profile %q", name))
+		return Profile{}, fmt.Errorf("tcc: unknown profile %q", name)
+	}
+	return p, nil
+}
+
+// MustProfile is ProfileByNameErr that panics on unknown names. It is kept
+// for examples and CLI wiring where a typo should abort immediately;
+// library callers should use ProfileByNameErr.
+func MustProfile(name string) Profile {
+	p, err := ProfileByNameErr(name)
+	if err != nil {
+		panic(err.Error())
 	}
 	return p
 }
