@@ -241,6 +241,55 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/op")
 }
 
+// BenchmarkObserverOff measures the simulator with no observer attached —
+// the baseline for the zero-overhead claim: disabled observation must cost
+// only a nil check on the emit paths. Compare sim-cycles/op and ns/op with
+// BenchmarkObserverCounting.
+func BenchmarkObserverOff(b *testing.B) {
+	prof := tcc.MustProfile("barnes").Scale(0.1)
+	cfg := tcc.DefaultConfig(16)
+	b.ReportAllocs()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		sys, err := tcc.NewSystem(cfg, prof.Build(16, uint64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += uint64(res.Cycles)
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/op")
+}
+
+// BenchmarkObserverCounting measures the same run with the cheapest real
+// sink attached (per-kind counters), bounding the cost of enabling
+// observation.
+func BenchmarkObserverCounting(b *testing.B) {
+	prof := tcc.MustProfile("barnes").Scale(0.1)
+	cfg := tcc.DefaultConfig(16)
+	b.ReportAllocs()
+	var cycles, events uint64
+	for i := 0; i < b.N; i++ {
+		sys, err := tcc.NewSystem(cfg, prof.Build(16, uint64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := tcc.NewCountingObserver()
+		sys.Observe(c)
+		res, err := sys.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += uint64(res.Cycles)
+		events += c.Total()
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/op")
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
 // BenchmarkCommitLatency isolates the commit path: a tiny-transaction
 // workload where validation+commit dominates, reporting mean commit-phase
 // cycles per transaction.

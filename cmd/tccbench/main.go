@@ -45,6 +45,7 @@ func main() {
 		outFile  = flag.String("out", "", "write the JSON report to FILE (implies -json)")
 		timeout  = flag.Duration("timeout", 0, "per-run wall-clock timeout, e.g. 10m (0 = none)")
 		progress = flag.Bool("progress", false, "print per-experiment run progress to stderr")
+		events   = flag.Bool("events", false, "count protocol events per run and add them to the JSON report cells")
 	)
 	flag.Parse()
 
@@ -53,6 +54,7 @@ func main() {
 	opts.Seed = *seed
 	opts.Verify = *verify
 	opts.JobTimeout = *timeout
+	opts.CountEvents = *events
 	if *max > 0 {
 		opts.MaxProcs = *max
 	}

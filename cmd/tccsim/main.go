@@ -36,6 +36,8 @@ func main() {
 		tape     = flag.Bool("tape", false, "profile conflicts (TAPE): print the most damaging lines")
 		trace    = flag.Bool("trace", false, "print every protocol event to stderr (very verbose)")
 		traceFor = flag.String("tracefilter", "", "only print trace lines containing this substring")
+		traceOut = flag.String("trace-json", "", "write every protocol event as JSON Lines to this file (- for stdout)")
+		sample   = flag.Uint64("sample", 0, "with -trace-json: emit a machine-occupancy sample every N cycles")
 	)
 	flag.Parse()
 
@@ -60,12 +62,24 @@ func main() {
 	}
 	prof = prof.Scale(*scale)
 
+	jsonObs, closeJSON := openJSONL(*traceOut)
+	defer closeJSON()
+
 	if *basel {
+		if *sample > 0 {
+			exitOn(fmt.Errorf("-sample requires the scalable machine (drop -baseline)"))
+		}
 		cfg := tcc.DefaultBaselineConfig(*procs)
 		cfg.Seed = *seed
 		cfg.CollectCommitLog = *verify
-		res, err := tcc.RunBaseline(cfg, prof.Build(*procs, *seed))
+		sys, err := tcc.NewBaselineSystem(cfg, prof.Build(*procs, *seed))
 		exitOn(err)
+		if jsonObs != nil {
+			sys.Observe(jsonObs)
+		}
+		res, err := sys.Run()
+		exitOn(err)
+		exitOn(flushJSONL(jsonObs))
 		fmt.Printf("bus-based TCC: %s on %d procs\n", prof.Name, *procs)
 		fmt.Printf("  cycles      %d\n", res.Cycles)
 		fmt.Printf("  commits     %d, violations %d\n", res.Commits, res.Violations)
@@ -92,16 +106,30 @@ func main() {
 	if *tape {
 		profiler = sys.EnableConflictProfiler()
 	}
+	var observers []tcc.Observer
 	if *trace {
-		sys.SetTrace(func(f string, args ...any) {
+		observers = append(observers, tcc.TraceObserver(func(f string, args ...any) {
 			line := fmt.Sprintf(f, args...)
 			if *traceFor == "" || strings.Contains(line, *traceFor) {
 				fmt.Fprintln(os.Stderr, line)
 			}
-		})
+		}))
+	}
+	if jsonObs != nil {
+		observers = append(observers, jsonObs)
+	}
+	if len(observers) > 0 {
+		sys.Observe(tcc.TeeObservers(observers...))
+	}
+	if *sample > 0 {
+		if jsonObs == nil {
+			exitOn(fmt.Errorf("-sample requires -trace-json"))
+		}
+		exitOn(sys.EnableSampler(*sample))
 	}
 	res, err := sys.Run()
 	exitOn(err)
+	exitOn(flushJSONL(jsonObs))
 
 	fmt.Printf("Scalable TCC: %s on %d procs (%s granularity)\n", prof.Name, *procs, *gran)
 	fmt.Printf("  cycles        %d\n", res.Cycles)
@@ -138,6 +166,27 @@ func main() {
 	if *verify {
 		reportVerify(len(tcc.Verify(res)))
 	}
+}
+
+// openJSONL opens the -trace-json sink: nil for "", stdout for "-", a
+// created file otherwise. The returned closer is safe to call always.
+func openJSONL(path string) (*tcc.JSONLObserver, func()) {
+	switch path {
+	case "":
+		return nil, func() {}
+	case "-":
+		return tcc.NewJSONLObserver(os.Stdout), func() {}
+	}
+	f, err := os.Create(path)
+	exitOn(err)
+	return tcc.NewJSONLObserver(f), func() { f.Close() }
+}
+
+func flushJSONL(o *tcc.JSONLObserver) error {
+	if o == nil {
+		return nil
+	}
+	return o.Flush()
 }
 
 func printBreakdown(b stats.Breakdown) {

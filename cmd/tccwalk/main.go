@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"scalabletcc/internal/core"
+	"scalabletcc/internal/obs"
 	"scalabletcc/internal/scenario"
 	"scalabletcc/internal/verify"
 )
@@ -51,14 +52,14 @@ func main() {
 		os.Exit(1)
 	}
 	sys.CollectCommitLog(true)
-	sys.Trace = func(f string, args ...any) {
+	sys.Observe(obs.NewTraceAdapter(func(f string, args ...any) {
 		line := fmt.Sprintf(f, args...)
 		// The walkthrough hides background noise on the helper processor.
 		if strings.Contains(line, "p2 ") && !strings.Contains(line, "COMMIT") {
 			return
 		}
 		fmt.Println(line)
-	}
+	}))
 
 	fmt.Printf("=== %s on a %d-node Scalable TCC machine ===\n", script.ScriptName, script.Procs())
 	fmt.Printf("addresses: %#x homed at dir0, %#x at dir1, %#x at dir2\n\n",

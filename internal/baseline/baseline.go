@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"scalabletcc/internal/mem"
+	"scalabletcc/internal/obs"
 	"scalabletcc/internal/sim"
 	"scalabletcc/internal/stats"
 	"scalabletcc/internal/verify"
@@ -128,6 +129,11 @@ type System struct {
 	collectLog bool
 	commitLog  []verify.Record
 
+	// obsv, when non-nil, receives one typed obs.Event per protocol action
+	// (the lifecycle subset that exists on a bus machine: fills, commits,
+	// snoop invalidations, violations, overflows, barriers).
+	obsv obs.Observer
+
 	barrierCount int
 	running      int
 
@@ -159,6 +165,17 @@ func NewSystem(cfg Config, prog workload.Program) (*System, error) {
 
 // CollectCommitLog enables serializability logging.
 func (s *System) CollectCommitLog(on bool) { s.collectLog = on }
+
+// Observe attaches a protocol-event observer (nil detaches). Must be called
+// before Run; observation is passive.
+func (s *System) Observe(o obs.Observer) { s.obsv = o }
+
+// emit stamps the current cycle on e and hands it to the observer. Callers
+// nil-check s.obsv first.
+func (s *System) emit(e obs.Event) {
+	e.Cycle = uint64(s.kernel.Now())
+	s.obsv.Event(e)
+}
 
 // busSend schedules fn after the ordered bus carries a message of the given
 // size, modeling arbitration plus serialization.

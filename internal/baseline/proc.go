@@ -4,6 +4,7 @@ import (
 	"scalabletcc/internal/bits"
 	"scalabletcc/internal/cache"
 	"scalabletcc/internal/mem"
+	"scalabletcc/internal/obs"
 	"scalabletcc/internal/sim"
 	"scalabletcc/internal/stats"
 	"scalabletcc/internal/tid"
@@ -79,6 +80,9 @@ func (p *proc) beginTx() {
 	if p.txIdx >= p.sys.prog.TxCount(p.id, p.progPhase) {
 		p.state = stBarrier
 		p.idleStart = p.sys.kernel.Now()
+		if p.sys.obsv != nil {
+			p.sys.emit(obs.Event{Kind: obs.KBarrier, Node: p.id, Peer: -1, Arg: int64(p.progPhase)})
+		}
 		p.sys.barrierArrive()
 		return
 	}
@@ -159,6 +163,9 @@ func (p *proc) onFill(base mem.Addr, data []mem.Version) {
 		var victim *cache.Victim
 		line, victim = p.cache.Insert(base, data)
 		if victim != nil {
+			if p.sys.obsv != nil {
+				p.sys.emit(obs.Event{Kind: obs.KOverflow, Node: p.id, Peer: -1, Addr: uint64(victim.Base)})
+			}
 			p.l1.Invalidate(victim.Base)
 			// Write-through commits: committed data is always in shared
 			// memory, so clean and dirty victims alike are dropped.
@@ -170,6 +177,9 @@ func (p *proc) onFill(base mem.Addr, data []mem.Version) {
 			}
 		}
 		line.VW = bits.All(g.WordsPerLine())
+	}
+	if p.sys.obsv != nil {
+		p.sys.emit(obs.Event{Kind: obs.KFill, Node: p.id, Peer: -1, Addr: uint64(base)})
 	}
 	op := p.ops[p.opIdx]
 	w := g.WordIndex(op.Addr)
@@ -231,6 +241,9 @@ func (p *proc) onToken() {
 		bytes += 16 + wl.words.Count()*g.WordSize
 	}
 	p.sys.busSend(bytes, func() {
+		if p.sys.obsv != nil {
+			p.sys.emit(obs.Event{Kind: obs.KCommit, Node: p.id, Peer: -1, TID: uint64(seq), Arg: int64(len(p.readLog))})
+		}
 		var record *verify.Record
 		if p.sys.collectLog {
 			record = &verify.Record{
@@ -251,6 +264,10 @@ func (p *proc) onToken() {
 				}
 			}
 			p.sys.memory.WriteWords(wl.base, uint64(wl.words), data)
+			if p.sys.obsv != nil {
+				p.sys.emit(obs.Event{Kind: obs.KCommitLine, Node: p.id, Peer: -1, TID: uint64(seq),
+					Addr: uint64(wl.base), Words: uint64(wl.words)})
+			}
 			// Snoop: every other processor checks the broadcast against its
 			// speculative state.
 			for _, q := range p.sys.procs {
@@ -299,6 +316,10 @@ func (p *proc) snoop(base mem.Addr, words bits.WordMask, seq mem.Version) {
 	if p.sys.cfg.LineGranularity {
 		overlap = line.SR.Any() && words.Any()
 	}
+	if p.sys.obsv != nil {
+		p.sys.emit(obs.Event{Kind: obs.KInv, Node: p.id, Peer: -1, Addr: uint64(base), Words: uint64(words),
+			TID: uint64(seq), SR: uint64(line.SR), SM: uint64(line.SM)})
+	}
 	if overlap {
 		p.cache.Invalidate(base)
 		p.l1.Invalidate(base)
@@ -319,6 +340,9 @@ func (p *proc) violate() {
 	}
 	now := p.sys.kernel.Now()
 	p.sys.totalViolations++
+	if p.sys.obsv != nil {
+		p.sys.emit(obs.Event{Kind: obs.KViolation, Node: p.id, Peer: -1, Arg: int64(p.state)})
+	}
 	if p.state == stWaitToken {
 		// Abandon the pending token request by filtering ourselves out.
 		q := p.sys.tokenQueue[:0]

@@ -5,6 +5,7 @@ import (
 
 	"scalabletcc/internal/bits"
 	"scalabletcc/internal/mem"
+	"scalabletcc/internal/obs"
 	"scalabletcc/internal/sim"
 	"scalabletcc/internal/stats"
 	"scalabletcc/internal/tid"
@@ -271,7 +272,9 @@ func (d *Directory) answerProbes() {
 func (d *Directory) respondProbe(p pendingProbe) {
 	nstid := d.nstid
 	probed := p.t
-	d.sys.tracef("dir%d answers p%d's probe for T%d: NSTID=%d", d.node, p.from, probed, nstid)
+	if d.sys.obsv != nil {
+		d.sys.emit(obs.Event{Kind: obs.KProbeResp, Node: d.node, Peer: p.from, TID: uint64(probed), TID2: uint64(nstid)})
+	}
 	d.sys.send(d.node, p.from, MsgProbeResp, func() {
 		d.sys.procs[p.from].onProbeResp(d.node, probed, nstid)
 	})
@@ -283,7 +286,9 @@ func (d *Directory) respondProbe(p pendingProbe) {
 
 func (d *Directory) recvSkip(t tid.TID) {
 	d.busy(d.sys.cfg.DirLatency, func() {
-		d.sys.tracef("dir%d skip T%d (NSTID %d)", d.node, t, d.nstid)
+		if d.sys.obsv != nil {
+			d.sys.emit(obs.Event{Kind: obs.KSkip, Node: d.node, Peer: -1, TID: uint64(t), TID2: uint64(d.nstid)})
+		}
 		d.stats.SkipsProcessed++
 		d.noteDone(t)
 	})
@@ -291,6 +296,13 @@ func (d *Directory) recvSkip(t tid.TID) {
 
 func (d *Directory) recvProbe(t tid.TID, write bool, from int) {
 	d.busy(d.sys.cfg.DirLatency, func() {
+		if d.sys.obsv != nil {
+			e := obs.Event{Kind: obs.KProbe, Node: d.node, Peer: from, TID: uint64(t)}
+			if write {
+				e.Arg = 1
+			}
+			d.sys.emit(e)
+		}
 		p := pendingProbe{t: t, write: write, from: from}
 		if !d.sys.cfg.DeferredProbes {
 			// Repeated-probing ablation: always answer with the current NSTID.
@@ -310,7 +322,9 @@ func (d *Directory) recvMark(t tid.TID, base mem.Addr, words bits.WordMask, data
 		if t != d.nstid {
 			panic(fmt.Sprintf("dir %d: Mark for TID %d while serving %d", d.node, t, d.nstid))
 		}
-		d.sys.tracef("dir%d mark line %#x words=%#x by T%d (p%d)", d.node, base, words, t, from)
+		if d.sys.obsv != nil {
+			d.sys.emit(obs.Event{Kind: obs.KMark, Node: d.node, Peer: from, TID: uint64(t), Addr: uint64(base), Words: uint64(words)})
+		}
 		e := d.entry(base)
 		if !e.marked {
 			d.markedLines = append(d.markedLines, base)
@@ -352,7 +366,10 @@ func (d *Directory) recvCommit(t tid.TID, from int) {
 				invMask = bits.All(g.WordsPerLine())
 			}
 			oldOwner, oldOW := e.owner, e.ownedWords
-			d.sys.tracef("dir%d commit T%d line %#x words=%#x sharers=%v oldOwner=%d", d.node, t, base, words, e.sharers.String(), oldOwner)
+			if d.sys.obsv != nil {
+				d.sys.emit(obs.Event{Kind: obs.KCommitLine, Node: d.node, Peer: from, TID: uint64(t),
+					Addr: uint64(base), Words: uint64(words), Set: e.sharers.String(), Arg: int64(oldOwner)})
+			}
 			// Gang-upgrade Marked -> Owned; invalidate all sharers except
 			// the committer, which becomes the new owner. A displaced
 			// foreign owner gets a combined flush+invalidate so the words
@@ -440,6 +457,9 @@ func (d *Directory) sendInv(to int, base mem.Addr, committer tid.TID, words bits
 
 func (d *Directory) recvInvAck() {
 	d.busy(1, func() {
+		if d.sys.obsv != nil {
+			d.sys.emit(obs.Event{Kind: obs.KInvAck, Node: d.node, Peer: -1, TID: uint64(d.pendingCommitTID)})
+		}
 		if !d.commitBusy || d.commitAcks <= 0 {
 			panic(fmt.Sprintf("dir %d: unexpected InvAck", d.node))
 		}
@@ -451,6 +471,9 @@ func (d *Directory) recvInvAck() {
 }
 
 func (d *Directory) finishCommit(t tid.TID) {
+	if d.sys.obsv != nil {
+		d.sys.emit(obs.Event{Kind: obs.KCommitDone, Node: d.node, Peer: -1, TID: uint64(t)})
+	}
 	d.commitBusy = false
 	d.occHist.Add(d.curBusy)
 	d.curBusy = 0
@@ -461,7 +484,9 @@ func (d *Directory) finishCommit(t tid.TID) {
 // recvAbort clears the TID's marks and accounts it as skipped.
 func (d *Directory) recvAbort(t tid.TID) {
 	d.busy(d.sys.cfg.DirLatency, func() {
-		d.sys.tracef("dir%d abort T%d (NSTID %d)", d.node, t, d.nstid)
+		if d.sys.obsv != nil {
+			d.sys.emit(obs.Event{Kind: obs.KAbort, Node: d.node, Peer: -1, TID: uint64(t), TID2: uint64(d.nstid)})
+		}
 		d.stats.AbortsProcessed++
 		if t < d.nstid {
 			panic(fmt.Sprintf("dir %d: Abort for past TID %d (NSTID %d)", d.node, t, d.nstid))
@@ -525,7 +550,9 @@ func (d *Directory) serveLoad(addr mem.Addr, from int, reqTID tid.TID, first boo
 	case e.owner >= 0 && e.owner != from:
 		// True sharing: ask the owner to flush, then serve.
 		d.stats.Forwards++
-		d.sys.tracef("dir%d load %#x from p%d: forward flush to owner %d", d.node, base, from, e.owner)
+		if d.sys.obsv != nil {
+			d.sys.emit(obs.Event{Kind: obs.KForward, Node: d.node, Peer: from, Addr: uint64(base), Arg: int64(e.owner)})
+		}
 		e.expectDataFrom(e.owner)
 		stall()
 		owner := e.owner
@@ -537,7 +564,10 @@ func (d *Directory) serveLoad(addr mem.Addr, from int, reqTID tid.TID, first boo
 		// its partially-valid line is served from memory; the processor's
 		// fill merge never overwrites locally-valid (owned) words.
 		d.stats.LoadsServiced++
-		d.sys.tracef("dir%d serve load %#x -> p%d data=%v sharers=%v owner=%d", d.node, base, from, d.memory.ReadLine(base), e.sharers.String(), e.owner)
+		if d.sys.obsv != nil {
+			d.sys.emit(obs.Event{Kind: obs.KLoad, Node: d.node, Peer: from, Addr: uint64(base),
+				Data: obsData(d.memory.ReadLine(base)), Set: e.sharers.String(), Arg: int64(e.owner)})
+		}
 		d.trackRemote(e, func() { e.sharers.Set(from) })
 		data := d.memory.ReadLine(base)
 		d.sys.kernel.After(d.sys.cfg.MemLatency, func() {
@@ -563,7 +593,10 @@ func (d *Directory) wakeStalled(base mem.Addr) {
 func (d *Directory) recvFlushResp(base mem.Addr, data []mem.Version, from int) {
 	d.busy(d.sys.cfg.DirLatency, func() {
 		e := d.entry(base)
-		d.sys.tracef("dir%d flushResp %#x from p%d data=%v owner=%d", d.node, base, from, data, e.owner)
+		if d.sys.obsv != nil {
+			d.sys.emit(obs.Event{Kind: obs.KFlushResp, Node: d.node, Peer: from, Addr: uint64(base),
+				Data: obsData(data), Arg: int64(e.owner)})
+		}
 		// Monotonic merge: stale words in the flushed line (the owner's
 		// partially-invalidated copies) can never roll memory back.
 		d.memory.MergeMonotonic(base, ^uint64(0), data)
@@ -606,7 +639,14 @@ func (d *Directory) recvWriteBack(base mem.Addr, tag tid.TID, words bits.WordMas
 		// Word-granular form of the race-elimination rule: an out-of-order
 		// stale write-back never rolls memory back; a fully-stale one is
 		// counted as dropped (the paper's TID-tag drop).
-		d.sys.tracef("dir%d WB %#x from p%d tag=%d words=%#x data=%v remove=%v", d.node, base, from, tag, words, data, remove)
+		if d.sys.obsv != nil {
+			ev := obs.Event{Kind: obs.KWriteBack, Node: d.node, Peer: from, Addr: uint64(base),
+				TID2: uint64(tag), Words: uint64(words), Data: obsData(data)}
+			if remove {
+				ev.Arg = 1
+			}
+			d.sys.emit(ev)
+		}
 		if d.memory.MergeMonotonic(base, uint64(words), data) == 0 && e.ownerTID > tag {
 			d.stats.DroppedWBs++
 		} else {

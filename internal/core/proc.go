@@ -6,6 +6,7 @@ import (
 	"scalabletcc/internal/bits"
 	"scalabletcc/internal/cache"
 	"scalabletcc/internal/mem"
+	"scalabletcc/internal/obs"
 	"scalabletcc/internal/sim"
 	"scalabletcc/internal/stats"
 	"scalabletcc/internal/tid"
@@ -294,6 +295,9 @@ func (p *Processor) onLoadResp(base mem.Addr, data []mem.Version) {
 	}
 	delete(p.refills, base)
 	line := p.fillLine(base, data)
+	if line != nil && p.sys.obsv != nil {
+		p.sys.emit(obs.Event{Kind: obs.KFill, Node: p.id, Peer: p.homeOf(base), Addr: uint64(base)})
+	}
 	if line == nil || !isDemand {
 		if line != nil && isRefill && p.phase == phValidating {
 			// A refill resolving during validation may have been the last
@@ -378,7 +382,9 @@ func (p *Processor) finishLoad(line *cache.Line, w int, a mem.Addr) {
 		line.SR = line.SR.Set(w)
 		if _, seen := p.readLog[a]; !seen {
 			p.readLog[a] = line.Data[w]
-			p.sys.tracef("p%d read %#x = v%d", p.id, a, line.Data[w])
+			if p.sys.obsv != nil {
+				p.sys.emit(obs.Event{Kind: obs.KRead, Node: p.id, Peer: -1, Addr: uint64(a), Arg: int64(line.Data[w])})
+			}
 		}
 	}
 }
@@ -419,6 +425,13 @@ func (p *Processor) doStore(a mem.Addr) {
 func (p *Processor) disposeVictim(v *cache.Victim) {
 	if v == nil {
 		return
+	}
+	if p.sys.obsv != nil {
+		e := obs.Event{Kind: obs.KOverflow, Node: p.id, Peer: -1, Addr: uint64(v.Base)}
+		if v.Dirty {
+			e.Arg = 1
+		}
+		p.sys.emit(e)
 	}
 	p.l1.Invalidate(v.Base)
 	if v.Dirty {
@@ -644,7 +657,10 @@ func (p *Processor) checkCommitReady() {
 // doCommit is the commit point: after it, the transaction cannot violate.
 func (p *Processor) doCommit() {
 	t := p.tid
-	p.sys.tracef("p%d COMMIT T%d writeDirs=%v reads=%d", p.id, t, p.writeDirs, len(p.readLog))
+	if p.sys.obsv != nil {
+		p.sys.emit(obs.Event{Kind: obs.KCommit, Node: p.id, Peer: -1, TID: uint64(t),
+			Set: fmt.Sprintf("%v", p.writeDirs), Arg: int64(len(p.readLog))})
+	}
 	for _, d := range p.writeDirs {
 		dir := p.sys.dirs[d]
 		p.sys.send(p.id, d, MsgCommit, func() { dir.recvCommit(t, p.id) })
@@ -732,7 +748,7 @@ func (p *Processor) onInv(fromDir int, base mem.Addr, committer tid.TID, words b
 		panic(fmt.Sprintf("proc %d: invalidation of owned line %#x", p.id, base))
 	}
 
-	p.applyInv(line, base, words, committer)
+	p.applyInv(fromDir, line, base, words, committer)
 }
 
 // killOutstandingFills marks every in-flight fill of the line as stale: an
@@ -749,8 +765,11 @@ func (p *Processor) killOutstandingFills(base mem.Addr) {
 // the uncommitted (SM) ones. The directory removed us from the sharers
 // list, so if the line still tracks speculatively-read words we refetch it
 // out of band to regain invalidation coverage for them.
-func (p *Processor) applyInv(line *cache.Line, base mem.Addr, words bits.WordMask, committer tid.TID) {
-	p.sys.tracef("p%d inv %#x words=%#x committer=T%d SR=%#x SM=%#x tid=%d", p.id, base, words, committer, line.SR, line.SM, p.tid)
+func (p *Processor) applyInv(fromDir int, line *cache.Line, base mem.Addr, words bits.WordMask, committer tid.TID) {
+	if p.sys.obsv != nil {
+		p.sys.emit(obs.Event{Kind: obs.KInv, Node: p.id, Peer: fromDir, Addr: uint64(base), Words: uint64(words),
+			TID: uint64(committer), SR: uint64(line.SR), SM: uint64(line.SM), TID2: uint64(p.tid)})
+	}
 	overlap := line.SR.Overlaps(words)
 	if p.sys.cfg.LineGranularity {
 		overlap = line.SR.Any() && words.Any()
@@ -790,7 +809,9 @@ func (p *Processor) violateOn(cause mem.Addr, committer tid.TID) {
 		p.sys.tape.RecordViolation(cause, p.id, committer, uint64(now-p.txStart))
 		p.sys.tape.RecordStreak(p.id, uint64(p.attempt)+1)
 	}
-	p.sys.tracef("p%d VIOLATE phase=%d tid=%d", p.id, p.phase, p.tid)
+	if p.sys.obsv != nil {
+		p.sys.emit(obs.Event{Kind: obs.KViolation, Node: p.id, Peer: -1, TID: uint64(p.tid), Arg: int64(p.phase)})
+	}
 	p.stats.Violations++
 	p.attempt++
 	p.sys.noteViolation(p)
@@ -841,6 +862,9 @@ func (p *Processor) onFlushReq(fromDir int, base mem.Addr) {
 		p.sys.send(p.id, fromDir, MsgFlushNack, func() { dir.recvFlushNack(base, p.id) })
 		return
 	}
+	if p.sys.obsv != nil {
+		p.sys.emit(obs.Event{Kind: obs.KFlush, Node: p.id, Peer: fromDir, Addr: uint64(base), Words: uint64(line.OW)})
+	}
 	line.Dirty = false
 	line.OW = 0
 	snap := append([]mem.Version(nil), line.Data...)
@@ -854,6 +878,10 @@ func (p *Processor) onFlushReq(fromDir int, base mem.Addr) {
 func (p *Processor) onFlushInv(fromDir int, base mem.Addr, committer tid.TID, words, oldOW bits.WordMask) {
 	dir := p.sys.dirs[fromDir]
 	line := p.cache.Peek(base)
+	if p.sys.obsv != nil {
+		p.sys.emit(obs.Event{Kind: obs.KFlushInv, Node: p.id, Peer: fromDir, Addr: uint64(base),
+			Words: uint64(words), TID: uint64(committer)})
+	}
 
 	var data []mem.Version
 	if line != nil && line.Dirty {
@@ -871,7 +899,7 @@ func (p *Processor) onFlushInv(fromDir int, base mem.Addr, committer tid.TID, wo
 	// longer owned here.
 	line.Dirty = false
 	line.OW = 0
-	p.applyInv(line, base, words, committer)
+	p.applyInv(fromDir, line, base, words, committer)
 }
 
 // onBarrierRelease resumes the processor after a phase barrier.

@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"scalabletcc/internal/cache"
 	"scalabletcc/internal/mem"
 	"scalabletcc/internal/mesh"
+	"scalabletcc/internal/obs"
 	"scalabletcc/internal/sim"
 	"scalabletcc/internal/stats"
 	"scalabletcc/internal/tape"
@@ -40,8 +42,15 @@ type System struct {
 	collectLog bool
 	commitLog  []CommitRecord
 
-	// Trace, when non-nil, receives a line per protocol event (debugging).
-	Trace func(format string, args ...any)
+	// obsv, when non-nil, receives one typed obs.Event per protocol action.
+	// Every emission site nil-checks it first, so a machine without an
+	// observer pays nothing on the hot path.
+	obsv obs.Observer
+
+	// Periodic time-series sampler (EnableSampler).
+	sampleEvery  sim.Time
+	prevDirBusy  uint64
+	prevLinkBusy []sim.Time
 
 	// tape, when non-nil, attributes violations to the lines and committers
 	// that caused them (§3.3's TAPE profiling environment).
@@ -114,12 +123,103 @@ func (s *System) Directory(i int) *Directory { return s.dirs[i] }
 // Processor returns node i's processor.
 func (s *System) Processor(i int) *Processor { return s.procs[i] }
 
-// tracef emits a protocol-trace line when tracing is enabled.
-func (s *System) tracef(format string, args ...any) {
-	if s.Trace != nil {
-		s.Trace("[%d] "+format, append([]any{s.kernel.Now()}, args...)...)
+// Observe attaches a protocol-event observer (nil detaches). Must be called
+// before Run; observation is passive and never changes simulated behaviour.
+func (s *System) Observe(o obs.Observer) { s.obsv = o }
+
+// Observer returns the attached observer, or nil.
+func (s *System) Observer() obs.Observer { return s.obsv }
+
+// emit stamps the current cycle on e and hands it to the observer. Callers
+// must nil-check s.obsv first so event construction stays off the
+// no-observer hot path.
+func (s *System) emit(e obs.Event) {
+	e.Cycle = uint64(s.kernel.Now())
+	s.obsv.Event(e)
+}
+
+// obsData snapshots a line payload for an event.
+func obsData(v []mem.Version) []uint64 {
+	out := make([]uint64, len(v))
+	for i, x := range v {
+		out[i] = uint64(x)
+	}
+	return out
+}
+
+// EnableSampler schedules a periodic time-series sample every cycles
+// simulated cycles. The attached observer must implement obs.SampleObserver;
+// call after Observe and before Run. Sampling is read-only and preserves the
+// relative order of all protocol events, but a run's reported cycle count
+// may round up to the final sampling tick.
+func (s *System) EnableSampler(every sim.Time) error {
+	if every <= 0 {
+		return fmt.Errorf("core: sampler interval must be positive, got %d", every)
+	}
+	if _, ok := s.obsv.(obs.SampleObserver); !ok {
+		return fmt.Errorf("core: the attached observer does not accept samples (obs.SampleObserver)")
+	}
+	s.sampleEvery = every
+	return nil
+}
+
+// sampleTick snapshots the protocol backpressure signals — directory NSTID
+// lag, outstanding marks, directory-cache occupancy, per-link mesh
+// utilization — and reschedules itself while the run is still producing
+// events (so a drained kernel still terminates Run's loop).
+func (s *System) sampleTick() {
+	so, ok := s.obsv.(obs.SampleObserver)
+	if !ok {
+		return
+	}
+	interval := uint64(s.sampleEvery)
+	smp := obs.Sample{Cycle: uint64(s.kernel.Now())}
+
+	var busy uint64
+	nstidMin, nstidMax := ^uint64(0), uint64(0)
+	for _, d := range s.dirs {
+		n := uint64(d.nstid)
+		if n < nstidMin {
+			nstidMin = n
+		}
+		if n > nstidMax {
+			nstidMax = n
+		}
+		smp.Marks += len(d.markedLines)
+		if s.cfg.DirCacheEntries > 0 {
+			smp.DirEntries += len(d.dirCacheLRU)
+		} else {
+			smp.DirEntries += len(d.entries)
+		}
+		busy += d.stats.BusyCycles
+	}
+	smp.NSTIDMin, smp.NSTIDMax = nstidMin, nstidMax
+	smp.TIDNext = s.vendor.Issued() + 1
+	if smp.TIDNext > nstidMin {
+		smp.LagMax = smp.TIDNext - nstidMin
+	}
+	smp.DirBusy = round4(float64(busy-s.prevDirBusy) / float64(uint64(s.cfg.Procs)*interval))
+	s.prevDirBusy = busy
+
+	lb := s.net.LinkBusy()
+	if s.prevLinkBusy == nil {
+		s.prevLinkBusy = make([]sim.Time, len(lb))
+	}
+	smp.LinkUtil = make([]float64, len(lb))
+	for i, b := range lb {
+		smp.LinkUtil[i] = round4(float64(b-s.prevLinkBusy[i]) / float64(interval))
+		s.prevLinkBusy[i] = b
+	}
+	so.Sample(smp)
+	if s.kernel.Pending() > 0 {
+		s.kernel.At(s.kernel.Now()+s.sampleEvery, s.sampleTick)
 	}
 }
+
+// round4 keeps sampled ratios stable across platforms (4 decimal places is
+// plenty for a utilization time-series and avoids float formatting noise in
+// the JSONL determinism guarantee).
+func round4(x float64) float64 { return math.Round(x*1e4) / 1e4 }
 
 // send routes a protocol message of the given kind through the mesh.
 func (s *System) send(src, dst int, kind MsgKind, deliver func()) {
@@ -130,7 +230,9 @@ func (s *System) send(src, dst int, kind MsgKind, deliver func()) {
 // vendorIssue services a TID request arriving at the vendor node.
 func (s *System) vendorIssue(requester int) {
 	t := s.vendor.Issue(requester)
-	s.tracef("vendor grants T%d to p%d", t, requester)
+	if s.obsv != nil {
+		s.emit(obs.Event{Kind: obs.KTIDGrant, Node: s.vendorNode, Peer: requester, TID: uint64(t)})
+	}
 	s.send(s.vendorNode, requester, MsgTIDResp, func() {
 		s.procs[requester].onTIDResp(t)
 	})
@@ -174,7 +276,10 @@ type barrier struct {
 	arrived int
 }
 
-func (b *barrier) arrive(int) {
+func (b *barrier) arrive(node int) {
+	if s := b.sys; s.obsv != nil {
+		s.emit(obs.Event{Kind: obs.KBarrier, Node: node, Peer: -1, Arg: int64(s.procs[node].progPhase)})
+	}
 	b.arrived++
 	if b.arrived < b.sys.cfg.Procs {
 		return
@@ -265,6 +370,9 @@ func (s *System) Run() (*Results, error) {
 	for _, p := range s.procs {
 		proc := p
 		s.kernel.At(0, proc.start)
+	}
+	if s.sampleEvery > 0 {
+		s.kernel.At(s.sampleEvery, s.sampleTick)
 	}
 	for s.kernel.Pending() > 0 {
 		if s.cfg.MaxCycles > 0 && s.kernel.Now() > s.cfg.MaxCycles {

@@ -1,16 +1,17 @@
 package core
 
 import (
-	"fmt"
 	"strings"
 	"testing"
 
+	"scalabletcc/internal/obs"
 	"scalabletcc/internal/verify"
 	"scalabletcc/internal/workload"
 )
 
-// TestTraceHotLine is a debugging aid: it traces protocol events on the hot
-// line and dumps them when the oracle finds a stale read.
+// TestTraceHotLine is a debugging aid: it observes protocol events on the
+// hot line and dumps them (in the legacy trace rendering) when the oracle
+// finds a stale read.
 func TestTraceHotLine(t *testing.T) {
 	prof := workload.Hotspot().Scale(0.25)
 	cfg := DefaultConfig(8)
@@ -22,13 +23,16 @@ func TestTraceHotLine(t *testing.T) {
 	}
 	sys.CollectCommitLog(true)
 	var lines []string
-	sys.Trace = func(f string, args ...any) {
-		s := fmt.Sprintf(f, args...)
+	sys.Observe(obs.FuncObserver(func(e obs.Event) {
+		s, ok := obs.LegacyLine(e)
+		if !ok {
+			return
+		}
 		if strings.Contains(s, "0x100000000000") || strings.Contains(s, "COMMIT") ||
 			strings.Contains(s, "VIOLATE") || strings.Contains(s, "0x10000000001") || strings.Contains(s, "0x10000000000") {
 			lines = append(lines, s)
 		}
-	}
+	}))
 	res, err := sys.Run()
 	if err != nil {
 		t.Fatal(err)

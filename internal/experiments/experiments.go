@@ -56,6 +56,12 @@ type Options struct {
 	// Record, if non-nil, receives one Cell per simulation for the
 	// machine-readable report.
 	Record *Recorder
+
+	// CountEvents attaches a counting observer to every run and reports
+	// per-kind protocol-event totals in RunResult.Events (and the JSON
+	// report's "events" field). Observation is passive; cycle counts are
+	// unchanged.
+	CountEvents bool
 }
 
 // DefaultOptions returns the paper's evaluation defaults: full-size
@@ -151,10 +157,13 @@ type Job struct {
 	Baseline bool
 }
 
-// RunResult is one executed Job; exactly one field is non-nil.
+// RunResult is one executed Job; exactly one of Results/Baseline is
+// non-nil. Events holds per-kind protocol-event totals when
+// Options.CountEvents is set.
 type RunResult struct {
 	Results  *tcc.Results
 	Baseline *tcc.BaselineResults
+	Events   map[string]uint64
 }
 
 func (r RunResult) summary() tcc.Summary {
@@ -173,15 +182,32 @@ func (o Options) runJob(j Job) (RunResult, error) {
 		return RunResult{}, fmt.Errorf("experiments: %w", err)
 	}
 	prof = prof.Scale(o.Scale)
+	var counter *tcc.CountingObserver
+	if o.CountEvents {
+		counter = tcc.NewCountingObserver()
+	}
+	events := func() map[string]uint64 {
+		if counter == nil {
+			return nil
+		}
+		return counter.ByName()
+	}
 	if j.Baseline {
 		bcfg := tcc.DefaultBaselineConfig(j.Procs)
 		bcfg.Seed = o.Seed
 		bcfg.MaxCycles = watchdogCycles
-		res, err := tcc.RunBaseline(bcfg, prof.Build(j.Procs, bcfg.Seed))
+		sys, err := tcc.NewBaselineSystem(bcfg, prof.Build(j.Procs, bcfg.Seed))
 		if err != nil {
 			return RunResult{}, fmt.Errorf("experiments: baseline %s on %d procs: %w", j.App, j.Procs, err)
 		}
-		return RunResult{Baseline: res}, nil
+		if counter != nil {
+			sys.Observe(counter)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			return RunResult{}, fmt.Errorf("experiments: baseline %s on %d procs: %w", j.App, j.Procs, err)
+		}
+		return RunResult{Baseline: res, Events: events()}, nil
 	}
 	cfg := tcc.DefaultConfig(j.Procs)
 	cfg.Seed = o.Seed
@@ -190,10 +216,14 @@ func (o Options) runJob(j Job) (RunResult, error) {
 	if j.Mutate != nil {
 		j.Mutate(&cfg)
 	}
-	if err := cfg.Validate(); err != nil {
+	sys, err := tcc.NewSystem(cfg, prof.Build(j.Procs, cfg.Seed))
+	if err != nil {
 		return RunResult{}, fmt.Errorf("experiments: %s on %d procs: invalid config: %w", j.App, j.Procs, err)
 	}
-	res, err := tcc.Run(cfg, prof.Build(j.Procs, cfg.Seed))
+	if counter != nil {
+		sys.Observe(counter)
+	}
+	res, err := sys.Run()
 	if err != nil {
 		return RunResult{}, fmt.Errorf("experiments: %s on %d procs: %w", j.App, j.Procs, err)
 	}
@@ -203,7 +233,7 @@ func (o Options) runJob(j Job) (RunResult, error) {
 				j.App, j.Procs, len(viols), viols[0])
 		}
 	}
-	return RunResult{Results: res}, nil
+	return RunResult{Results: res, Events: events()}, nil
 }
 
 // runMatrix fans one experiment's jobs across o.Parallel workers and

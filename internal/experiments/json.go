@@ -45,6 +45,9 @@ type Cell struct {
 	Summary tcc.Summary `json:"summary"`
 	// Traffic decomposes remote bytes by class (scalable machine only).
 	Traffic *Traffic `json:"traffic,omitempty"`
+	// Events holds per-kind protocol-event totals (Options.CountEvents;
+	// tccbench -events). Additive: ReportVersion is unchanged.
+	Events map[string]uint64 `json:"events,omitempty"`
 }
 
 // Traffic is the Figure 9 decomposition of one run's remote bytes.
@@ -92,6 +95,7 @@ func (r *Recorder) add(experiment string, jobs []Job, outs []RunResult) {
 			Machine:    machine,
 			Config:     j.Knobs,
 			Summary:    s,
+			Events:     outs[i].Events,
 		}
 		if s.Cycles > 0 {
 			c.SpeedupVsBase = float64(b) / float64(s.Cycles)

@@ -242,6 +242,20 @@ func (n *Network) Multicast(src int, dsts []int, bytes int, class Class, deliver
 	}
 }
 
+// LinkBusy returns each directed link's cumulative busy cycles, flattened as
+// [direction][node] (east, west, north, south) — the raw series behind a
+// per-link utilization time-series (successive snapshots differenced over
+// the sampling interval).
+func (n *Network) LinkBusy() []sim.Time {
+	out := make([]sim.Time, 0, 4*len(n.links[0]))
+	for d := range n.links {
+		for i := range n.links[d] {
+			out = append(out, n.links[d][i].busy)
+		}
+	}
+	return out
+}
+
 // Stats is a snapshot of traffic accounting.
 type Stats struct {
 	BytesByClass [NumClasses]uint64

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ---------------------------------------------------------------------------
+// JSONL writer.
+
+const (
+	// StreamSchema identifies the JSONL event-stream document type.
+	StreamSchema = "scalabletcc/events"
+	// StreamVersion is bumped whenever a field changes meaning or is
+	// removed; additions keep the version.
+	StreamVersion = 1
+)
+
+// JSONLWriter streams events (and sampler records) as JSON lines. The first
+// line is a schema header; every following line carries a "k" discriminator —
+// an event kind name, or "sample" for a sampler record. Output depends only
+// on the event sequence, so equal-seed runs produce byte-identical streams.
+//
+// The writer buffers internally; call Flush when the run completes. Write
+// errors are sticky and reported by Flush.
+type JSONLWriter struct {
+	w      *bufio.Writer
+	err    error
+	header bool
+}
+
+// NewJSONL returns a writer streaming to w.
+func NewJSONL(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{w: bufio.NewWriter(w)}
+}
+
+func (j *JSONLWriter) line(v any) {
+	if j.err != nil {
+		return
+	}
+	if !j.header {
+		j.header = true
+		j.line(struct {
+			Schema  string `json:"schema"`
+			Version int    `json:"version"`
+		}{StreamSchema, StreamVersion})
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		j.err = fmt.Errorf("obs: marshal event: %w", err)
+		return
+	}
+	if _, err := j.w.Write(append(b, '\n')); err != nil {
+		j.err = err
+	}
+}
+
+// Event writes one event line.
+func (j *JSONLWriter) Event(e Event) { j.line(e) }
+
+// Sample writes one sampler line, discriminated by "k":"sample".
+func (j *JSONLWriter) Sample(s Sample) {
+	j.line(struct {
+		K string `json:"k"`
+		Sample
+	}{"sample", s})
+}
+
+// Flush drains the buffer and returns the first error encountered.
+func (j *JSONLWriter) Flush() error {
+	if err := j.w.Flush(); j.err == nil {
+		j.err = err
+	}
+	return j.err
+}
+
+// ---------------------------------------------------------------------------
+// Bounded ring buffer.
+
+// RingBuffer retains the most recent events, overwriting the oldest once
+// capacity is reached — a crash-dump tail for debugging wedged or misbehaving
+// runs without the cost of a full stream.
+type RingBuffer struct {
+	buf  []Event
+	next int
+	seen uint64
+}
+
+// NewRing returns a buffer retaining the last capacity events.
+func NewRing(capacity int) *RingBuffer {
+	if capacity <= 0 {
+		panic("obs: ring capacity must be positive")
+	}
+	return &RingBuffer{buf: make([]Event, 0, capacity)}
+}
+
+// Event records e, evicting the oldest retained event when full.
+func (r *RingBuffer) Event(e Event) {
+	r.seen++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % cap(r.buf)
+}
+
+// Events returns the retained events, oldest first.
+func (r *RingBuffer) Events() []Event {
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Seen returns the total number of events observed.
+func (r *RingBuffer) Seen() uint64 { return r.seen }
+
+// Dropped returns how many events were evicted to stay within capacity.
+func (r *RingBuffer) Dropped() uint64 { return r.seen - uint64(len(r.buf)) }
+
+// ---------------------------------------------------------------------------
+// Counting aggregator.
+
+// Counter tallies events by kind. Its totals reconcile with a run's Results
+// counters (commits, violations, per-kind message counts), which makes it
+// the cheap always-on aggregation sink for sweeps.
+type Counter struct {
+	counts [NumKinds]uint64
+}
+
+// NewCounter returns an empty aggregator.
+func NewCounter() *Counter { return &Counter{} }
+
+// Event tallies e.
+func (c *Counter) Event(e Event) { c.counts[e.Kind]++ }
+
+// Count returns the tally for one kind.
+func (c *Counter) Count(k Kind) uint64 { return c.counts[k] }
+
+// Total returns the tally across all kinds.
+func (c *Counter) Total() uint64 {
+	var t uint64
+	for _, n := range c.counts {
+		t += n
+	}
+	return t
+}
+
+// Counts returns the per-kind tallies indexed by Kind.
+func (c *Counter) Counts() [NumKinds]uint64 { return c.counts }
+
+// ByName returns the non-zero tallies keyed by kind wire name (the form the
+// tccbench JSON cells embed).
+func (c *Counter) ByName() map[string]uint64 {
+	out := make(map[string]uint64)
+	for k, n := range c.counts {
+		if n > 0 {
+			out[Kind(k).String()] = n
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Fan-out.
+
+type tee struct {
+	obs []Observer
+}
+
+// Tee fans events (and samples, for sinks that take them) out to every
+// observer in order. A nil entry is skipped; Tee() with no live observers
+// returns nil so the emitters' nil-check disables observation entirely.
+func Tee(list ...Observer) Observer {
+	var live []Observer
+	for _, o := range list {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return &tee{obs: live}
+}
+
+func (t *tee) Event(e Event) {
+	for _, o := range t.obs {
+		o.Event(e)
+	}
+}
+
+func (t *tee) Sample(s Sample) {
+	for _, o := range t.obs {
+		if so, ok := o.(SampleObserver); ok {
+			so.Sample(s)
+		}
+	}
+}

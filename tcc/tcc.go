@@ -24,11 +24,13 @@ package tcc
 
 import (
 	"fmt"
+	"io"
 
 	"scalabletcc/internal/baseline"
 	"scalabletcc/internal/core"
 	"scalabletcc/internal/mem"
 	"scalabletcc/internal/mesh"
+	"scalabletcc/internal/obs"
 	"scalabletcc/internal/sim"
 	"scalabletcc/internal/stats"
 	"scalabletcc/internal/tape"
@@ -155,7 +157,11 @@ func DefaultConfig(procs int) Config {
 	}
 }
 
-func (c Config) toCore() core.Config {
+// compile converts the public configuration to the core form and validates
+// it. Validation and construction share this single conversion, so the
+// config NewSystem builds is — by construction — the config Validate
+// checked.
+func (c Config) compile() (core.Config, error) {
 	cc := core.DefaultConfig(c.Procs)
 	cc.Geometry = mem.Geometry{LineSize: c.LineSize, WordSize: 4, PageSize: 4096}
 	cc.L1Size, cc.L1Ways = c.L1Size, c.L1Ways
@@ -173,11 +179,17 @@ func (c Config) toCore() core.Config {
 	cc.WriteThroughCommit = c.WriteThroughCommit
 	cc.Seed = c.Seed
 	cc.MaxCycles = sim.Time(c.MaxCycles)
-	return cc
+	if err := cc.Validate(); err != nil {
+		return core.Config{}, err
+	}
+	return cc, nil
 }
 
 // Validate reports whether the configuration is well-formed.
-func (c Config) Validate() error { return c.toCore().Validate() }
+func (c Config) Validate() error {
+	_, err := c.compile()
+	return err
+}
 
 // System is an assembled Scalable TCC machine ready to run one program.
 type System struct {
@@ -186,7 +198,11 @@ type System struct {
 
 // NewSystem builds a machine running prog under cfg.
 func NewSystem(cfg Config, prog Program) (*System, error) {
-	s, err := core.NewSystem(cfg.toCore(), prog)
+	cc, err := cfg.compile()
+	if err != nil {
+		return nil, err
+	}
+	s, err := core.NewSystem(cc, prog)
 	if err != nil {
 		return nil, err
 	}
@@ -210,11 +226,39 @@ type ConflictLine = tape.LineReport
 // returns it for querying afterwards.
 func (s *System) EnableConflictProfiler() *ConflictProfiler { return s.inner.EnableTape() }
 
-// SetTrace installs a protocol-event trace hook (one call per event:
-// loads served, skips, probes, marks, commits, invalidations, violations,
-// write-backs). Tracing is for debugging and walkthroughs; it does not
-// change simulated behaviour.
-func (s *System) SetTrace(fn func(format string, args ...any)) { s.inner.Trace = fn }
+// Observe attaches a typed protocol-event observer (nil detaches). Every
+// protocol action — loads and fills, skips, probes, marks, commits,
+// invalidations, aborts, violations, write-backs, flushes, TID grants,
+// overflows, barriers — is delivered as one Event. Call before Run;
+// observation is passive and never changes simulated behaviour. With no
+// observer attached the hot path reduces to a nil check.
+func (s *System) Observe(o Observer) { s.inner.Observe(o) }
+
+// SetTrace installs a printf-style trace hook rendering the legacy
+// line-oriented trace format.
+//
+// Deprecated: SetTrace is a thin adapter over Observe for callers that
+// consumed the original printf stream (e.g. cmd/tccwalk). New code should
+// use Observe with a typed Observer; the typed stream covers strictly more
+// of the protocol than the legacy format. Calling SetTrace replaces any
+// observer installed with Observe, and vice versa.
+func (s *System) SetTrace(fn func(format string, args ...any)) {
+	if fn == nil {
+		s.inner.Observe(nil)
+		return
+	}
+	s.inner.Observe(obs.NewTraceAdapter(fn))
+}
+
+// EnableSampler schedules a periodic read-only sample of machine occupancy
+// (NSTID lag, outstanding marks, directory-cache occupancy, per-link mesh
+// utilization) every `every` cycles. The attached observer must implement
+// SampleObserver (JSONLObserver does); call Observe first. Sampling is
+// passive with one caveat: a run's reported cycle count may round up to the
+// final sampling tick.
+func (s *System) EnableSampler(every uint64) error {
+	return s.inner.EnableSampler(sim.Time(every))
+}
 
 // AuditFinalMemory cross-checks the machine's final memory state (memory
 // banks plus owned cache lines) against the TID-serial replay of the commit
@@ -269,6 +313,92 @@ func MustProfile(name string) Profile {
 	return p
 }
 
+// Observer receives one Event per protocol action. Implementations must be
+// fast and must not mutate shared state; they run synchronously inside the
+// simulation loop. The package ships three sinks — NewJSONLObserver,
+// NewRingObserver, NewCountingObserver — plus TeeObservers to combine them
+// and TraceObserver for printf-style rendering.
+type Observer = obs.Observer
+
+// SampleObserver is an Observer that additionally receives periodic
+// machine-occupancy samples (see System.EnableSampler).
+type SampleObserver = obs.SampleObserver
+
+// Event is one typed protocol event: the Table 1 message vocabulary plus
+// lifecycle events, each stamped with cycle, node, TID, address and word
+// mask as applicable.
+type Event = obs.Event
+
+// EventKind discriminates Event payloads.
+type EventKind = obs.Kind
+
+// Sample is one periodic occupancy snapshot (NSTID window, outstanding
+// marks, directory occupancy, per-link mesh utilization).
+type Sample = obs.Sample
+
+// FuncObserver adapts a plain function to the Observer interface.
+type FuncObserver = obs.FuncObserver
+
+// Event kinds, re-exported so callers can filter without importing the
+// internal package.
+const (
+	EvLoad       = obs.KLoad
+	EvForward    = obs.KForward
+	EvFill       = obs.KFill
+	EvSkip       = obs.KSkip
+	EvProbe      = obs.KProbe
+	EvProbeResp  = obs.KProbeResp
+	EvMark       = obs.KMark
+	EvCommit     = obs.KCommit
+	EvCommitLine = obs.KCommitLine
+	EvCommitDone = obs.KCommitDone
+	EvInv        = obs.KInv
+	EvInvAck     = obs.KInvAck
+	EvAbort      = obs.KAbort
+	EvViolation  = obs.KViolation
+	EvWriteBack  = obs.KWriteBack
+	EvFlush      = obs.KFlush
+	EvFlushResp  = obs.KFlushResp
+	EvFlushInv   = obs.KFlushInv
+	EvTIDGrant   = obs.KTIDGrant
+	EvRead       = obs.KRead
+	EvOverflow   = obs.KOverflow
+	EvBarrier    = obs.KBarrier
+
+	// NumEventKinds is the number of distinct event kinds.
+	NumEventKinds = obs.NumKinds
+)
+
+// JSONLObserver streams events (and samples) as JSON Lines with a versioned
+// schema header.
+type JSONLObserver = obs.JSONLWriter
+
+// NewJSONLObserver returns an observer writing one JSON object per line to
+// w, preceded by a schema header. Call Flush when the run finishes.
+func NewJSONLObserver(w io.Writer) *JSONLObserver { return obs.NewJSONL(w) }
+
+// RingObserver keeps the last N events in memory (flight-recorder style).
+type RingObserver = obs.RingBuffer
+
+// NewRingObserver returns a bounded in-memory event buffer holding the most
+// recent n events.
+func NewRingObserver(n int) *RingObserver { return obs.NewRing(n) }
+
+// CountingObserver tallies events by kind with no per-event allocation.
+type CountingObserver = obs.Counter
+
+// NewCountingObserver returns a per-kind event counter.
+func NewCountingObserver() *CountingObserver { return obs.NewCounter() }
+
+// TeeObservers fans events out to several observers in order; nils are
+// skipped. Samples reach the members that implement SampleObserver.
+func TeeObservers(list ...Observer) Observer { return obs.Tee(list...) }
+
+// TraceObserver renders legacy-format trace lines through fn (the printf
+// stream SetTrace used to produce), for composing with other observers via
+// TeeObservers.
+func TraceObserver(fn func(format string, args ...any)) Observer { return obs.NewTraceAdapter(fn) }
+
 // BaselineConfig parameterizes the bus-based small-scale TCC machine.
 type BaselineConfig struct {
 	Procs            int
@@ -286,20 +416,63 @@ func DefaultBaselineConfig(procs int) BaselineConfig {
 	return BaselineConfig{Procs: procs, BusBytesPerCycle: 16, MemLatency: 100, Seed: 1}
 }
 
-// RunBaseline executes prog on the bus-based small-scale TCC design.
-func RunBaseline(cfg BaselineConfig, prog Program) (*BaselineResults, error) {
-	bc := baseline.DefaultConfig(cfg.Procs)
-	bc.BusBytesPerCycle = cfg.BusBytesPerCycle
-	bc.MemLatency = sim.Time(cfg.MemLatency)
-	bc.LineGranularity = cfg.LineGranularity
-	bc.Seed = cfg.Seed
-	bc.MaxCycles = sim.Time(cfg.MaxCycles)
+// compile converts the public baseline configuration to the internal form
+// and validates it (same single-conversion contract as Config.compile).
+func (c BaselineConfig) compile() (baseline.Config, error) {
+	bc := baseline.DefaultConfig(c.Procs)
+	bc.BusBytesPerCycle = c.BusBytesPerCycle
+	bc.MemLatency = sim.Time(c.MemLatency)
+	bc.LineGranularity = c.LineGranularity
+	bc.Seed = c.Seed
+	bc.MaxCycles = sim.Time(c.MaxCycles)
+	if err := bc.Validate(); err != nil {
+		return baseline.Config{}, err
+	}
+	return bc, nil
+}
+
+// Validate reports whether the baseline configuration is well-formed.
+func (c BaselineConfig) Validate() error {
+	_, err := c.compile()
+	return err
+}
+
+// BaselineSystem is an assembled bus-based small-scale TCC machine, the
+// baseline counterpart of System.
+type BaselineSystem struct {
+	inner *baseline.System
+}
+
+// NewBaselineSystem builds a baseline machine running prog under cfg.
+func NewBaselineSystem(cfg BaselineConfig, prog Program) (*BaselineSystem, error) {
+	bc, err := cfg.compile()
+	if err != nil {
+		return nil, err
+	}
 	sys, err := baseline.NewSystem(bc, prog)
 	if err != nil {
 		return nil, err
 	}
 	sys.CollectCommitLog(cfg.CollectCommitLog)
-	return sys.Run()
+	return &BaselineSystem{inner: sys}, nil
+}
+
+// Run executes the program to completion.
+func (s *BaselineSystem) Run() (*BaselineResults, error) { return s.inner.Run() }
+
+// Observe attaches a typed protocol-event observer (nil detaches); the
+// baseline machine emits the lifecycle subset that exists on a bus design
+// (fills, commits, snoop invalidations, violations, overflows, barriers).
+// Call before Run.
+func (s *BaselineSystem) Observe(o Observer) { s.inner.Observe(o) }
+
+// RunBaseline executes prog on the bus-based small-scale TCC design.
+func RunBaseline(cfg BaselineConfig, prog Program) (*BaselineResults, error) {
+	s, err := NewBaselineSystem(cfg, prog)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
 }
 
 // VerifyBaseline replays a baseline run's commit log.
