@@ -44,7 +44,7 @@ type proc struct {
 	pendUseful uint64
 	pendMiss   uint64
 
-	readLog map[mem.Addr]mem.Version
+	readSet mem.ReadSet
 
 	idleStart sim.Time
 	breakdown stats.Breakdown
@@ -96,7 +96,7 @@ func (p *proc) startAttempt() {
 	p.txStart = p.sys.kernel.Now()
 	p.pendUseful = 0
 	p.pendMiss = 0
-	p.readLog = make(map[mem.Addr]mem.Version)
+	p.readSet.Reset()
 	p.step()
 }
 
@@ -199,9 +199,7 @@ func (p *proc) finishAccess(line *cache.Line, w int, a mem.Addr, write bool) {
 	}
 	if !line.SM.Has(w) {
 		line.SR = line.SR.Set(w)
-		if _, seen := p.readLog[a]; !seen {
-			p.readLog[a] = line.Data[w]
-		}
+		p.readSet.Add(a, line.Data[w])
 	}
 }
 
@@ -242,14 +240,14 @@ func (p *proc) onToken() {
 	}
 	p.sys.busSend(bytes, func() {
 		if p.sys.obsv != nil {
-			p.sys.emit(obs.Event{Kind: obs.KCommit, Node: p.id, Peer: -1, TID: uint64(seq), Arg: int64(len(p.readLog))})
+			p.sys.emit(obs.Event{Kind: obs.KCommit, Node: p.id, Peer: -1, TID: uint64(seq), Arg: int64(p.readSet.Len())})
 		}
 		var record *verify.Record
 		if p.sys.collectLog {
 			record = &verify.Record{
 				TID:    tid.TID(seq),
 				Proc:   p.id,
-				Reads:  p.readLog,
+				Reads:  p.readSet.Map(),
 				Writes: make(map[mem.Addr]mem.Version),
 			}
 		}

@@ -67,6 +67,7 @@ type Cache struct {
 	overflow map[mem.Addr]*Line
 	clock    uint64
 	stats    Stats
+	bufFree  [][]mem.Version // line-data buffer pool; all WordsPerLine-sized
 }
 
 // New builds a cache of sizeBytes with the given associativity.
@@ -158,7 +159,7 @@ func (c *Cache) Insert(base mem.Addr, data []mem.Version) (*Line, *Victim) {
 	if victim == nil {
 		// Every way pinned by speculative state: spill to the overflow area.
 		c.stats.Spills++
-		l := &Line{Base: base, Valid: true, VW: full, Data: cloneData(data), lru: c.clock}
+		l := &Line{Base: base, Valid: true, VW: full, Data: c.cloneData(data), lru: c.clock}
 		c.overflow[base] = l
 		if len(c.overflow) > c.stats.MaxOverflow {
 			c.stats.MaxOverflow = len(c.overflow)
@@ -170,17 +171,36 @@ func (c *Cache) Insert(base mem.Addr, data []mem.Version) (*Line, *Victim) {
 		c.stats.Evictions++
 		if victim.Dirty {
 			c.stats.DirtyEvicts++
+			// Only a dirty victim's data is meaningful to the caller (it must
+			// be written back); a clean victim's buffer is recycled here.
+			out = &Victim{Base: victim.Base, Dirty: true, OW: victim.OW, Data: victim.Data}
+		} else {
+			out = &Victim{Base: victim.Base}
+			c.Recycle(victim.Data)
 		}
-		out = &Victim{Base: victim.Base, Dirty: victim.Dirty, OW: victim.OW, Data: victim.Data}
 	}
-	*victim = Line{Base: base, Valid: true, VW: full, Data: cloneData(data), lru: c.clock}
+	*victim = Line{Base: base, Valid: true, VW: full, Data: c.cloneData(data), lru: c.clock}
 	return victim, out
 }
 
-func cloneData(d []mem.Version) []mem.Version {
-	out := make([]mem.Version, len(d))
+func (c *Cache) cloneData(d []mem.Version) []mem.Version {
+	var out []mem.Version
+	if n := len(c.bufFree); n > 0 {
+		out = c.bufFree[n-1]
+		c.bufFree = c.bufFree[:n-1]
+	} else {
+		out = make([]mem.Version, c.geom.WordsPerLine())
+	}
 	copy(out, d)
 	return out
+}
+
+// Recycle returns a dead line-data buffer to the cache's pool. Callers hand
+// back Victim buffers once the write-back has copied them.
+func (c *Cache) Recycle(data []mem.Version) {
+	if data != nil {
+		c.bufFree = append(c.bufFree, data)
+	}
 }
 
 // Invalidate drops the line holding base if present, returning it for
@@ -241,15 +261,17 @@ func (c *Cache) RollbackTx() {
 			continue
 		}
 		if l.SM.Any() {
+			c.Recycle(l.Data)
 			*l = Line{}
 			continue
 		}
 		l.SR = 0
 	}
-	for base := range c.overflow {
+	for base, l := range c.overflow {
 		// Overflow space models scarce virtualized storage: rolled-back
 		// lines are released whether they held SM data (dropped) or only SR
 		// tracking (cleared anyway).
+		c.Recycle(l.Data)
 		delete(c.overflow, base)
 	}
 }

@@ -23,7 +23,7 @@ type dirEntry struct {
 	ownedWords bits.WordMask // the words whose latest data lives at the owner
 	marked     bool
 	markWords  bits.WordMask
-	markData   []mem.Version // write-through commit mode only
+	markData   []mem.Version // write-through commit mode only; pooled buffer
 	// pendingFrom lists nodes whose committed data is known to be in flight
 	// toward memory (owner flushes for load forwarding, commit-time
 	// ownership-transfer flushes, or the write-backs that substitute for
@@ -109,8 +109,9 @@ type Directory struct {
 	// the Skip-Vector shift of Figure 5.
 	done bits.BitVec
 
-	entries map[mem.Addr]*dirEntry
-	memory  *mem.Memory
+	entries   map[mem.Addr]*dirEntry
+	entrySlab []dirEntry // carved into entries on first touch, one alloc per block
+	memory    *mem.Memory
 
 	markedLines      []mem.Addr // lines marked by the currently-serviced TID
 	markOwner        int        // processor that sent the current marks
@@ -119,9 +120,10 @@ type Directory struct {
 	commitFlushes    int        // outstanding old-owner flush-invalidates
 	pendingCommitTID tid.TID
 
-	probes   []pendingProbe
-	stalled  map[mem.Addr][]pendingLoad
-	nextFree sim.Time // occupancy: the directory pipeline's next free cycle
+	probes        []pendingProbe
+	stalled       map[mem.Addr][]pendingLoad
+	nextFree      sim.Time // occupancy: the directory pipeline's next free cycle
+	sharerScratch []int    // reusable snapshot of a line's sharers
 
 	// Directory-cache model: LRU over entry addresses when DirCacheEntries
 	// is bounded. A miss costs an extra MemLatency of occupancy (the full
@@ -159,7 +161,12 @@ func (d *Directory) Stats() DirStats { return d.stats }
 func (d *Directory) entry(base mem.Addr) *dirEntry {
 	e, ok := d.entries[base]
 	if !ok {
-		e = &dirEntry{owner: -1}
+		if len(d.entrySlab) == 0 {
+			d.entrySlab = make([]dirEntry, 128)
+		}
+		e = &d.entrySlab[0]
+		d.entrySlab = d.entrySlab[1:]
+		e.owner = -1
 		d.entries[base] = e
 	}
 	d.touchDirCache(base)
@@ -196,10 +203,19 @@ func (d *Directory) touchDirCache(base mem.Addr) {
 	d.dirCacheLRU[base] = d.dirCacheClock
 }
 
-// busy serializes directory work: fn runs when the directory pipeline is
-// free, and occupies it for cost cycles. This models the directory-cache
-// occupancy and queuing of the paper's methodology.
-func (d *Directory) busy(cost sim.Time, fn func()) {
+// enqueueMsg admits an arriving protocol message to the directory pipeline:
+// the message occupies the pipeline for its service cost, then executes.
+// This models the directory-cache occupancy and queuing of the paper's
+// methodology. The message record stays alive (and immutable) until the
+// pipeline stage runs.
+func (d *Directory) enqueueMsg(i int32) {
+	cost := d.sys.cfg.DirLatency
+	switch d.sys.msgs[i].kind {
+	case MsgCommit:
+		cost += sim.Time(len(d.markedLines))
+	case MsgInvAck:
+		cost = 1
+	}
 	k := d.sys.kernel
 	start := k.Now()
 	if d.nextFree > start {
@@ -208,7 +224,54 @@ func (d *Directory) busy(cost sim.Time, fn func()) {
 	d.nextFree = start + cost
 	d.stats.BusyCycles += uint64(cost)
 	d.curBusy += uint64(cost)
-	k.At(start+cost, fn)
+	k.Post(start+cost, d, dirExec, uint64(i), 0)
+}
+
+// HandleEvent runs the directory's typed kernel events: pipeline-stage
+// completions (dirExec) and prepared memory reads becoming ready to send
+// (dirMemReady). The message is copied out of the pool before dispatch —
+// handlers may allocate new messages, which can move the slab.
+func (d *Directory) HandleEvent(code uint32, a1, a2 uint64) {
+	switch code {
+	case dirExec:
+		i := int32(a1)
+		m := d.sys.msgs[i]
+		d.exec(m)
+		d.sys.freeMsg(i)
+	case dirMemReady:
+		d.sys.sendMsg(int32(a1))
+	default:
+		panic("core: unknown directory event")
+	}
+}
+
+func (d *Directory) exec(m protoMsg) {
+	switch m.kind {
+	case MsgSkip:
+		d.execSkip(m.t)
+	case MsgProbe:
+		d.execProbe(m.t, m.flag, int(m.src))
+	case MsgMark:
+		d.execMark(m.t, m.addr, m.words, m.data, int(m.src))
+	case MsgCommit:
+		d.execCommit(m.t, int(m.src))
+	case MsgFlushInvResp:
+		d.execFlushInvResp(m.addr, m.words, m.data, int(m.src))
+	case MsgInvAck:
+		d.execInvAck()
+	case MsgAbort:
+		d.execAbort(m.t)
+	case MsgLoadReq:
+		d.serveLoad(m.addr, int(m.src), m.t, true)
+	case MsgFlushResp:
+		d.execFlushResp(m.addr, m.data, int(m.src))
+	case MsgFlushNack:
+		d.execFlushNack(m.addr, int(m.src))
+	case MsgWriteBack:
+		d.execWriteBack(m.addr, m.t, m.words, m.data, int(m.src), m.flag)
+	default:
+		panic(fmt.Sprintf("dir %d: unexpected message kind %v", d.node, m.kind))
+	}
 }
 
 // trackRemote updates the remote-working-set counter around a mutation of e.
@@ -271,203 +334,204 @@ func (d *Directory) answerProbes() {
 
 func (d *Directory) respondProbe(p pendingProbe) {
 	nstid := d.nstid
-	probed := p.t
 	if d.sys.obsv != nil {
-		d.sys.emit(obs.Event{Kind: obs.KProbeResp, Node: d.node, Peer: p.from, TID: uint64(probed), TID2: uint64(nstid)})
+		d.sys.emit(obs.Event{Kind: obs.KProbeResp, Node: d.node, Peer: p.from, TID: uint64(p.t), TID2: uint64(nstid)})
 	}
-	d.sys.send(d.node, p.from, MsgProbeResp, func() {
-		d.sys.procs[p.from].onProbeResp(d.node, probed, nstid)
-	})
+	i, m := d.sys.newMsg(MsgProbeResp, d.node, p.from)
+	m.t = p.t
+	m.t2 = nstid
+	d.sys.sendMsg(i)
 }
 
 // ---------------------------------------------------------------------------
-// Message handlers. Each is invoked from the network at arrival time and
-// passes through the occupancy pipeline.
+// Message execution. Each exec* runs when the message's pipeline stage
+// completes.
 
-func (d *Directory) recvSkip(t tid.TID) {
-	d.busy(d.sys.cfg.DirLatency, func() {
-		if d.sys.obsv != nil {
-			d.sys.emit(obs.Event{Kind: obs.KSkip, Node: d.node, Peer: -1, TID: uint64(t), TID2: uint64(d.nstid)})
-		}
-		d.stats.SkipsProcessed++
-		d.noteDone(t)
-	})
+func (d *Directory) execSkip(t tid.TID) {
+	if d.sys.obsv != nil {
+		d.sys.emit(obs.Event{Kind: obs.KSkip, Node: d.node, Peer: -1, TID: uint64(t), TID2: uint64(d.nstid)})
+	}
+	d.stats.SkipsProcessed++
+	d.noteDone(t)
 }
 
-func (d *Directory) recvProbe(t tid.TID, write bool, from int) {
-	d.busy(d.sys.cfg.DirLatency, func() {
-		if d.sys.obsv != nil {
-			e := obs.Event{Kind: obs.KProbe, Node: d.node, Peer: from, TID: uint64(t)}
-			if write {
-				e.Arg = 1
+func (d *Directory) execProbe(t tid.TID, write bool, from int) {
+	if d.sys.obsv != nil {
+		e := obs.Event{Kind: obs.KProbe, Node: d.node, Peer: from, TID: uint64(t)}
+		if write {
+			e.Arg = 1
+		}
+		d.sys.emit(e)
+	}
+	p := pendingProbe{t: t, write: write, from: from}
+	if !d.sys.cfg.DeferredProbes {
+		// Repeated-probing ablation: always answer with the current NSTID.
+		d.respondProbe(p)
+		return
+	}
+	if d.nstid >= t {
+		d.respondProbe(p)
+		return
+	}
+	d.probes = append(d.probes, p)
+}
+
+func (d *Directory) execMark(t tid.TID, base mem.Addr, words bits.WordMask, data []mem.Version, from int) {
+	if t != d.nstid {
+		panic(fmt.Sprintf("dir %d: Mark for TID %d while serving %d", d.node, t, d.nstid))
+	}
+	if d.sys.obsv != nil {
+		d.sys.emit(obs.Event{Kind: obs.KMark, Node: d.node, Peer: from, TID: uint64(t), Addr: uint64(base), Words: uint64(words)})
+	}
+	e := d.entry(base)
+	if !e.marked {
+		d.markedLines = append(d.markedLines, base)
+	}
+	d.markOwner = from
+	e.marked = true
+	e.markWords |= words
+	if d.sys.cfg.WriteThroughCommit && data != nil {
+		if e.markData == nil {
+			buf := d.sys.acquireBuf()
+			for w := range buf {
+				buf[w] = 0
 			}
-			d.sys.emit(e)
+			e.markData = buf
 		}
-		p := pendingProbe{t: t, write: write, from: from}
-		if !d.sys.cfg.DeferredProbes {
-			// Repeated-probing ablation: always answer with the current NSTID.
-			d.respondProbe(p)
-			return
+		for w := range data {
+			if words.Has(w) {
+				e.markData[w] = data[w]
+			}
 		}
-		if d.nstid >= t {
-			d.respondProbe(p)
-			return
-		}
-		d.probes = append(d.probes, p)
-	})
+	}
 }
 
-func (d *Directory) recvMark(t tid.TID, base mem.Addr, words bits.WordMask, data []mem.Version, from int) {
-	d.busy(d.sys.cfg.DirLatency, func() {
-		if t != d.nstid {
-			panic(fmt.Sprintf("dir %d: Mark for TID %d while serving %d", d.node, t, d.nstid))
-		}
-		if d.sys.obsv != nil {
-			d.sys.emit(obs.Event{Kind: obs.KMark, Node: d.node, Peer: from, TID: uint64(t), Addr: uint64(base), Words: uint64(words)})
-		}
+func (d *Directory) execCommit(t tid.TID, from int) {
+	if t != d.nstid {
+		panic(fmt.Sprintf("dir %d: Commit for TID %d while serving %d", d.node, t, d.nstid))
+	}
+	d.stats.CommitsServiced++
+	d.commitBusy = true
+	d.commitAcks = 0
+	d.commitFlushes = 0
+	d.pendingCommitTID = t
+	g := d.sys.cfg.Geometry
+
+	for _, base := range d.markedLines {
 		e := d.entry(base)
-		if !e.marked {
-			d.markedLines = append(d.markedLines, base)
+		words := e.markWords
+		invMask := words
+		if d.sys.cfg.LineGranularity {
+			invMask = bits.All(g.WordsPerLine())
 		}
-		d.markOwner = from
-		e.marked = true
-		e.markWords |= words
-		if d.sys.cfg.WriteThroughCommit && data != nil {
-			if e.markData == nil {
-				e.markData = make([]mem.Version, d.sys.cfg.Geometry.WordsPerLine())
-			}
-			for w := range data {
-				if words.Has(w) {
-					e.markData[w] = data[w]
+		oldOwner, oldOW := e.owner, e.ownedWords
+		if d.sys.obsv != nil {
+			d.sys.emit(obs.Event{Kind: obs.KCommitLine, Node: d.node, Peer: from, TID: uint64(t),
+				Addr: uint64(base), Words: uint64(words), Set: e.sharers.String(), Arg: int64(oldOwner)})
+		}
+		// Gang-upgrade Marked -> Owned; invalidate all sharers except
+		// the committer, which becomes the new owner. A displaced
+		// foreign owner gets a combined flush+invalidate so the words
+		// only it holds are salvaged into memory before the commit
+		// completes.
+		d.trackRemote(e, func() {
+			d.sharerScratch = d.sharerScratch[:0]
+			e.sharers.ForEach(func(n int) { d.sharerScratch = append(d.sharerScratch, n) })
+			for _, s := range d.sharerScratch {
+				if s == from {
+					continue
 				}
-			}
-		}
-	})
-}
-
-func (d *Directory) recvCommit(t tid.TID, from int) {
-	cost := d.sys.cfg.DirLatency + sim.Time(len(d.markedLines))
-	d.busy(cost, func() {
-		if t != d.nstid {
-			panic(fmt.Sprintf("dir %d: Commit for TID %d while serving %d", d.node, t, d.nstid))
-		}
-		d.stats.CommitsServiced++
-		d.commitBusy = true
-		d.commitAcks = 0
-		d.commitFlushes = 0
-		d.pendingCommitTID = t
-		g := d.sys.cfg.Geometry
-
-		for _, base := range d.markedLines {
-			e := d.entry(base)
-			words := e.markWords
-			invMask := words
-			if d.sys.cfg.LineGranularity {
-				invMask = bits.All(g.WordsPerLine())
-			}
-			oldOwner, oldOW := e.owner, e.ownedWords
-			if d.sys.obsv != nil {
-				d.sys.emit(obs.Event{Kind: obs.KCommitLine, Node: d.node, Peer: from, TID: uint64(t),
-					Addr: uint64(base), Words: uint64(words), Set: e.sharers.String(), Arg: int64(oldOwner)})
-			}
-			// Gang-upgrade Marked -> Owned; invalidate all sharers except
-			// the committer, which becomes the new owner. A displaced
-			// foreign owner gets a combined flush+invalidate so the words
-			// only it holds are salvaged into memory before the commit
-			// completes.
-			d.trackRemote(e, func() {
-				for _, s := range e.sharers.Members() {
-					if s == from {
-						continue
-					}
-					d.stats.Invalidations++
-					if s == oldOwner {
-						d.commitFlushes++
-						e.expectDataFrom(s)
-						d.sendFlushInv(s, base, t, invMask, oldOW)
-					} else {
-						d.commitAcks++
-						d.sendInv(s, base, t, invMask)
-					}
-					e.sharers.Clear(s)
-				}
-				e.marked = false
-				e.markWords = 0
-				e.sharers.Set(from)
-				e.ownerTID = t
-				if d.sys.cfg.WriteThroughCommit {
-					// Data arrived with the marks: memory is updated now and
-					// no owner is recorded.
-					d.memory.MergeMonotonic(base, uint64(words), e.markData)
-					e.markData = nil
-					e.owner = -1
-					e.ownedWords = 0
-				} else if oldOwner == from {
-					e.ownedWords |= words
+				d.stats.Invalidations++
+				if s == oldOwner {
+					d.commitFlushes++
+					e.expectDataFrom(s)
+					d.sendFlushInv(s, base, t, invMask, oldOW)
 				} else {
-					e.owner = from
-					e.ownedWords = words
+					d.commitAcks++
+					d.sendInv(s, base, t, invMask)
 				}
-			})
-			d.wakeStalled(base)
-		}
-		d.markedLines = d.markedLines[:0]
-		if d.commitAcks == 0 && d.commitFlushes == 0 {
-			d.finishCommit(t)
-		}
-		// Otherwise finishCommit runs when the last ack/flush arrives.
-	})
+				e.sharers.Clear(s)
+			}
+			e.marked = false
+			e.markWords = 0
+			e.sharers.Set(from)
+			e.ownerTID = t
+			if d.sys.cfg.WriteThroughCommit {
+				// Data arrived with the marks: memory is updated now and
+				// no owner is recorded.
+				d.memory.MergeMonotonic(base, uint64(words), e.markData)
+				if e.markData != nil {
+					d.sys.releaseBuf(e.markData)
+					e.markData = nil
+				}
+				e.owner = -1
+				e.ownedWords = 0
+			} else if oldOwner == from {
+				e.ownedWords |= words
+			} else {
+				e.owner = from
+				e.ownedWords = words
+			}
+		})
+		d.wakeStalled(base)
+	}
+	d.markedLines = d.markedLines[:0]
+	if d.commitAcks == 0 && d.commitFlushes == 0 {
+		d.finishCommit(t)
+	}
+	// Otherwise finishCommit runs when the last ack/flush arrives.
 }
 
 func (d *Directory) sendFlushInv(to int, base mem.Addr, committer tid.TID, words, oldOW bits.WordMask) {
-	d.sys.send(d.node, to, MsgFlushInv, func() {
-		d.sys.procs[to].onFlushInv(d.node, base, committer, words, oldOW)
-	})
+	i, m := d.sys.newMsg(MsgFlushInv, d.node, to)
+	m.addr = base
+	m.t = committer
+	m.words = words
+	m.words2 = oldOW
+	d.sys.sendMsg(i)
 }
 
-// recvFlushInvResp completes a commit-time ownership transfer: the old
+// execFlushInvResp completes a commit-time ownership transfer: the old
 // owner's data is merged into memory. A nil payload means the old owner's
 // data return was already in flight (as a write-back or an earlier flush
 // response), which retires the expectation instead.
-func (d *Directory) recvFlushInvResp(base mem.Addr, oldOW bits.WordMask, data []mem.Version, from int) {
-	d.busy(d.sys.cfg.DirLatency, func() {
-		e := d.entry(base)
-		if data != nil {
-			d.memory.MergeMonotonic(base, uint64(oldOW), data)
-			e.dataArrivedFrom(from)
-			if !e.dataPending() {
-				d.wakeStalled(base)
-			}
+func (d *Directory) execFlushInvResp(base mem.Addr, oldOW bits.WordMask, data []mem.Version, from int) {
+	e := d.entry(base)
+	if data != nil {
+		d.memory.MergeMonotonic(base, uint64(oldOW), data)
+		e.dataArrivedFrom(from)
+		if !e.dataPending() {
+			d.wakeStalled(base)
 		}
-		if !d.commitBusy || d.commitFlushes <= 0 {
-			panic(fmt.Sprintf("dir %d: unexpected FlushInvResp", d.node))
-		}
-		d.commitFlushes--
-		if d.commitAcks == 0 && d.commitFlushes == 0 {
-			d.finishCommit(d.pendingCommitTID)
-		}
-	})
+	}
+	if !d.commitBusy || d.commitFlushes <= 0 {
+		panic(fmt.Sprintf("dir %d: unexpected FlushInvResp", d.node))
+	}
+	d.commitFlushes--
+	if d.commitAcks == 0 && d.commitFlushes == 0 {
+		d.finishCommit(d.pendingCommitTID)
+	}
 }
 
 func (d *Directory) sendInv(to int, base mem.Addr, committer tid.TID, words bits.WordMask) {
-	d.sys.send(d.node, to, MsgInv, func() {
-		d.sys.procs[to].onInv(d.node, base, committer, words)
-	})
+	i, m := d.sys.newMsg(MsgInv, d.node, to)
+	m.addr = base
+	m.t = committer
+	m.words = words
+	d.sys.sendMsg(i)
 }
 
-func (d *Directory) recvInvAck() {
-	d.busy(1, func() {
-		if d.sys.obsv != nil {
-			d.sys.emit(obs.Event{Kind: obs.KInvAck, Node: d.node, Peer: -1, TID: uint64(d.pendingCommitTID)})
-		}
-		if !d.commitBusy || d.commitAcks <= 0 {
-			panic(fmt.Sprintf("dir %d: unexpected InvAck", d.node))
-		}
-		d.commitAcks--
-		if d.commitAcks == 0 && d.commitFlushes == 0 {
-			d.finishCommit(d.pendingCommitTID)
-		}
-	})
+func (d *Directory) execInvAck() {
+	if d.sys.obsv != nil {
+		d.sys.emit(obs.Event{Kind: obs.KInvAck, Node: d.node, Peer: -1, TID: uint64(d.pendingCommitTID)})
+	}
+	if !d.commitBusy || d.commitAcks <= 0 {
+		panic(fmt.Sprintf("dir %d: unexpected InvAck", d.node))
+	}
+	d.commitAcks--
+	if d.commitAcks == 0 && d.commitFlushes == 0 {
+		d.finishCommit(d.pendingCommitTID)
+	}
 }
 
 func (d *Directory) finishCommit(t tid.TID) {
@@ -481,38 +545,35 @@ func (d *Directory) finishCommit(t tid.TID) {
 	d.noteDone(t)
 }
 
-// recvAbort clears the TID's marks and accounts it as skipped.
-func (d *Directory) recvAbort(t tid.TID) {
-	d.busy(d.sys.cfg.DirLatency, func() {
-		if d.sys.obsv != nil {
-			d.sys.emit(obs.Event{Kind: obs.KAbort, Node: d.node, Peer: -1, TID: uint64(t), TID2: uint64(d.nstid)})
-		}
-		d.stats.AbortsProcessed++
-		if t < d.nstid {
-			panic(fmt.Sprintf("dir %d: Abort for past TID %d (NSTID %d)", d.node, t, d.nstid))
-		}
-		if t == d.nstid {
-			for _, base := range d.markedLines {
-				e := d.entry(base)
-				e.marked = false
-				e.markWords = 0
+// execAbort clears the TID's marks and accounts it as skipped.
+func (d *Directory) execAbort(t tid.TID) {
+	if d.sys.obsv != nil {
+		d.sys.emit(obs.Event{Kind: obs.KAbort, Node: d.node, Peer: -1, TID: uint64(t), TID2: uint64(d.nstid)})
+	}
+	d.stats.AbortsProcessed++
+	if t < d.nstid {
+		panic(fmt.Sprintf("dir %d: Abort for past TID %d (NSTID %d)", d.node, t, d.nstid))
+	}
+	if t == d.nstid {
+		for _, base := range d.markedLines {
+			e := d.entry(base)
+			e.marked = false
+			e.markWords = 0
+			if e.markData != nil {
+				d.sys.releaseBuf(e.markData)
 				e.markData = nil
-				d.wakeStalled(base)
 			}
-			d.markedLines = d.markedLines[:0]
-			d.curBusy = 0
+			d.wakeStalled(base)
 		}
-		// If t > NSTID the directory never served t, so t has no marks here.
-		d.noteDone(t)
-	})
+		d.markedLines = d.markedLines[:0]
+		d.curBusy = 0
+	}
+	// If t > NSTID the directory never served t, so t has no marks here.
+	d.noteDone(t)
 }
 
 // ---------------------------------------------------------------------------
 // Loads, owner forwarding, and write-backs.
-
-func (d *Directory) recvLoad(addr mem.Addr, from int, reqTID tid.TID) {
-	d.busy(d.sys.cfg.DirLatency, func() { d.serveLoad(addr, from, reqTID, true) })
-}
 
 // serveLoad implements the load path: stall on Marked lines, forward to the
 // owner on true sharing, otherwise serve from memory.
@@ -555,10 +616,9 @@ func (d *Directory) serveLoad(addr mem.Addr, from int, reqTID tid.TID, first boo
 		}
 		e.expectDataFrom(e.owner)
 		stall()
-		owner := e.owner
-		d.sys.send(d.node, owner, MsgFlushReq, func() {
-			d.sys.procs[owner].onFlushReq(d.node, base)
-		})
+		i, m := d.sys.newMsg(MsgFlushReq, d.node, e.owner)
+		m.addr = base
+		d.sys.sendMsg(i)
 	default:
 		// Includes owner == from: an owner refilling the invalid words of
 		// its partially-valid line is served from memory; the processor's
@@ -569,12 +629,12 @@ func (d *Directory) serveLoad(addr mem.Addr, from int, reqTID tid.TID, first boo
 				Data: obsData(d.memory.ReadLine(base)), Set: e.sharers.String(), Arg: int64(e.owner)})
 		}
 		d.trackRemote(e, func() { e.sharers.Set(from) })
-		data := d.memory.ReadLine(base)
-		d.sys.kernel.After(d.sys.cfg.MemLatency, func() {
-			d.sys.send(d.node, from, MsgLoadResp, func() {
-				d.sys.procs[from].onLoadResp(base, data)
-			})
-		})
+		// Snapshot memory now (the load's serialization point); the response
+		// leaves for the requester after the memory access latency.
+		i, m := d.sys.newMsg(MsgLoadResp, d.node, from)
+		m.addr = base
+		m.data = d.sys.copyLine(d.memory.Line(base))
+		d.sys.kernel.PostAfter(d.sys.cfg.MemLatency, d, dirMemReady, uint64(i), 0)
 	}
 }
 
@@ -590,80 +650,75 @@ func (d *Directory) wakeStalled(base mem.Addr) {
 	}
 }
 
-func (d *Directory) recvFlushResp(base mem.Addr, data []mem.Version, from int) {
-	d.busy(d.sys.cfg.DirLatency, func() {
-		e := d.entry(base)
-		if d.sys.obsv != nil {
-			d.sys.emit(obs.Event{Kind: obs.KFlushResp, Node: d.node, Peer: from, Addr: uint64(base),
-				Data: obsData(data), Arg: int64(e.owner)})
-		}
-		// Monotonic merge: stale words in the flushed line (the owner's
-		// partially-invalidated copies) can never roll memory back.
-		d.memory.MergeMonotonic(base, ^uint64(0), data)
-		if e.owner == from {
-			d.trackRemote(e, func() {
-				e.owner = -1
-				e.ownedWords = 0
-				// The flushing owner keeps its copy and remains a sharer
-				// (Table 1 "Flush: write back ... leaving it in cache"), so
-				// its SR tracking keeps working.
-			})
-		}
-		e.dataArrivedFrom(from)
-		if !e.dataPending() {
-			d.wakeStalled(base)
-		}
-	})
+func (d *Directory) execFlushResp(base mem.Addr, data []mem.Version, from int) {
+	e := d.entry(base)
+	if d.sys.obsv != nil {
+		d.sys.emit(obs.Event{Kind: obs.KFlushResp, Node: d.node, Peer: from, Addr: uint64(base),
+			Data: obsData(data), Arg: int64(e.owner)})
+	}
+	// Monotonic merge: stale words in the flushed line (the owner's
+	// partially-invalidated copies) can never roll memory back.
+	d.memory.MergeMonotonic(base, ^uint64(0), data)
+	if e.owner == from {
+		d.trackRemote(e, func() {
+			e.owner = -1
+			e.ownedWords = 0
+			// The flushing owner keeps its copy and remains a sharer
+			// (Table 1 "Flush: write back ... leaving it in cache"), so
+			// its SR tracking keeps working.
+		})
+	}
+	e.dataArrivedFrom(from)
+	if !e.dataPending() {
+		d.wakeStalled(base)
+	}
 }
 
-func (d *Directory) recvFlushNack(base mem.Addr, from int) {
-	d.busy(d.sys.cfg.DirLatency, func() {
-		e := d.entry(base)
-		// The owner no longer holds the line: its data return is (or was) in
-		// flight as a write-back or an earlier flush response. The recorded
-		// expectation stays until that return lands; if it already did,
-		// stalled loads can go.
-		if !e.dataPending() {
-			d.wakeStalled(base)
-		}
-	})
+func (d *Directory) execFlushNack(base mem.Addr, from int) {
+	_ = from
+	e := d.entry(base)
+	// The owner no longer holds the line: its data return is (or was) in
+	// flight as a write-back or an earlier flush response. The recorded
+	// expectation stays until that return lands; if it already did,
+	// stalled loads can go.
+	if !e.dataPending() {
+		d.wakeStalled(base)
+	}
 }
 
-// recvWriteBack handles committed data returning to memory. remove reports
+// execWriteBack handles committed data returning to memory. remove reports
 // whether the sender dropped its copy (an eviction) or kept it (the
 // dirty-bit rule's flush before a speculative overwrite — Table 1's Flush
 // semantics), which decides whether the sender stays a sharer.
-func (d *Directory) recvWriteBack(base mem.Addr, tag tid.TID, words bits.WordMask, data []mem.Version, from int, remove bool) {
-	d.busy(d.sys.cfg.DirLatency, func() {
-		e := d.entry(base)
-		// Word-granular form of the race-elimination rule: an out-of-order
-		// stale write-back never rolls memory back; a fully-stale one is
-		// counted as dropped (the paper's TID-tag drop).
-		if d.sys.obsv != nil {
-			ev := obs.Event{Kind: obs.KWriteBack, Node: d.node, Peer: from, Addr: uint64(base),
-				TID2: uint64(tag), Words: uint64(words), Data: obsData(data)}
-			if remove {
-				ev.Arg = 1
-			}
-			d.sys.emit(ev)
+func (d *Directory) execWriteBack(base mem.Addr, tag tid.TID, words bits.WordMask, data []mem.Version, from int, remove bool) {
+	e := d.entry(base)
+	// Word-granular form of the race-elimination rule: an out-of-order
+	// stale write-back never rolls memory back; a fully-stale one is
+	// counted as dropped (the paper's TID-tag drop).
+	if d.sys.obsv != nil {
+		ev := obs.Event{Kind: obs.KWriteBack, Node: d.node, Peer: from, Addr: uint64(base),
+			TID2: uint64(tag), Words: uint64(words), Data: obsData(data)}
+		if remove {
+			ev.Arg = 1
 		}
-		if d.memory.MergeMonotonic(base, uint64(words), data) == 0 && e.ownerTID > tag {
-			d.stats.DroppedWBs++
-		} else {
-			d.stats.WriteBacks++
+		d.sys.emit(ev)
+	}
+	if d.memory.MergeMonotonic(base, uint64(words), data) == 0 && e.ownerTID > tag {
+		d.stats.DroppedWBs++
+	} else {
+		d.stats.WriteBacks++
+	}
+	d.trackRemote(e, func() {
+		if e.owner == from && tag >= e.ownerTID {
+			e.owner = -1
+			e.ownedWords = 0
 		}
-		d.trackRemote(e, func() {
-			if e.owner == from && tag >= e.ownerTID {
-				e.owner = -1
-				e.ownedWords = 0
-			}
-			if remove {
-				e.sharers.Clear(from)
-			}
-		})
-		e.dataArrivedFrom(from)
-		if !e.dataPending() {
-			d.wakeStalled(base)
+		if remove {
+			e.sharers.Clear(from)
 		}
 	})
+	e.dataArrivedFrom(from)
+	if !e.dataPending() {
+		d.wakeStalled(base)
+	}
 }

@@ -31,6 +31,18 @@ type writeLine struct {
 	words bits.WordMask
 }
 
+// fillTrack is the per-line record behind the load/invalidate race handling:
+// outstanding fill requests (out), responses that must be dropped because an
+// invalidation overtook them (kills), and whether an out-of-band refill of
+// the line is in flight (refill). The tracked lines are few at any moment, so
+// a linear scan over a reusable slice replaces three per-line maps.
+type fillTrack struct {
+	base   mem.Addr
+	out    int
+	kills  int
+	refill bool
+}
+
 // ProcStats are the per-processor counters the experiments aggregate.
 type ProcStats struct {
 	Breakdown      stats.Breakdown
@@ -61,14 +73,14 @@ type Processor struct {
 
 	// Per-attempt execution state.
 	phase      procPhase
-	epoch      uint64 // bumped on rollback/commit; stale callbacks check it
+	epoch      uint64 // bumped on rollback/commit; stale events check it
 	txStart    sim.Time
 	missStart  sim.Time
 	missLine   mem.Addr // line base of the outstanding miss
 	pendUseful uint64
 	pendMiss   uint64
 	attempt    int
-	readLog    map[mem.Addr]mem.Version
+	readSet    mem.ReadSet
 	sharingVec bits.NodeSet
 	writingVec bits.NodeSet
 
@@ -79,22 +91,24 @@ type Processor struct {
 	tidDisposals int  // TID grants in flight that belong to violated attempts
 	keepTID      bool // retain the early TID across the upcoming restart
 	commitStart  sim.Time
-	writeLines   map[int][]writeLine // home dir -> lines to mark
-	pendingWrite map[int]bool        // write-set dirs not yet marked
-	pendingRead  map[int]bool        // read-set dirs not yet cleared
-	writeDirs    []int
+	writeLines   [][]writeLine // per home dir, lines to mark; reused across attempts
+	writeDirs    []int         // dirs with a non-empty writeLines entry, ascending
+	readDirs     []int         // probe scratch: read-set dirs outside the write-set
 
-	// refills tracks out-of-band line refetches issued after a partial
-	// invalidation, so the processor re-enters the sharers list for lines it
-	// still holds speculatively-read words of.
-	refills map[mem.Addr]bool
+	// Probe bookkeeping: pendTokW[d]/pendTokR[d] == valTok means directory d
+	// still owes this attempt a write/read probe answer. Bumping valTok at
+	// each attempt retires every token at once, replacing two per-attempt
+	// maps.
+	valTok     uint64
+	pendTokW   []uint64
+	pendTokR   []uint64
+	pendWriteN int
+	pendReadN  int
 
-	// fillsOut counts outstanding fill requests per line; fillKills marks
-	// responses that must be dropped and re-issued because an invalidation
-	// for the line overtook them (the paper's load/invalidate race: "
-	// processors could just drop that load when it arrives").
-	fillsOut  map[mem.Addr]int
-	fillKills map[mem.Addr]int
+	// fills tracks the in-flight fill state per line (see fillTrack);
+	// refillCount is the number of lines with an out-of-band refill pending.
+	fills       []fillTrack
+	refillCount int
 
 	idleStart sim.Time
 	stats     ProcStats
@@ -103,15 +117,15 @@ type Processor struct {
 func newProcessor(sys *System, id int, prog workload.Program) *Processor {
 	cfg := sys.cfg
 	return &Processor{
-		sys:       sys,
-		id:        id,
-		prog:      prog,
-		cache:     cache.New(cfg.Geometry, cfg.L2Size, cfg.L2Ways),
-		l1:        cache.NewTagArray(cfg.Geometry, cfg.L1Size, cfg.L1Ways),
-		phase:     phDone,
-		refills:   make(map[mem.Addr]bool),
-		fillsOut:  make(map[mem.Addr]int),
-		fillKills: make(map[mem.Addr]int),
+		sys:        sys,
+		id:         id,
+		prog:       prog,
+		cache:      cache.New(cfg.Geometry, cfg.L2Size, cfg.L2Ways),
+		l1:         cache.NewTagArray(cfg.Geometry, cfg.L1Size, cfg.L1Ways),
+		phase:      phDone,
+		writeLines: make([][]writeLine, cfg.Procs),
+		pendTokW:   make([]uint64, cfg.Procs),
+		pendTokR:   make([]uint64, cfg.Procs),
 	}
 }
 
@@ -121,14 +135,31 @@ func (p *Processor) Stats() ProcStats { return p.stats }
 // Cache exposes the private cache for tests and cache-level statistics.
 func (p *Processor) Cache() *cache.Cache { return p.cache }
 
-// guard wraps a continuation so it dies silently if the transaction it
-// belongs to was rolled back or committed in the meantime.
-func (p *Processor) guard(fn func()) func() {
-	e := p.epoch
-	return func() {
-		if p.epoch == e {
-			fn()
+// HandleEvent dispatches the processor's typed kernel events. Continuations
+// belonging to one transaction attempt carry the attempt's epoch in a1 and
+// die silently if the transaction rolled back or committed in the meantime.
+func (p *Processor) HandleEvent(code uint32, a1, a2 uint64) {
+	switch code {
+	case prStep:
+		if p.epoch == a1 {
+			p.step()
 		}
+	case prStartAttempt:
+		if p.epoch == a1 {
+			p.startAttempt()
+		}
+	case prBeginTx:
+		p.beginTx()
+	case prReprobe:
+		if p.epoch == a1 && p.phase == phValidating {
+			p.sendProbe(int(a2>>1), a2&1 != 0)
+		}
+	case prBarrierRelease:
+		p.onBarrierRelease()
+	case prStart:
+		p.start()
+	default:
+		panic("core: unknown processor event")
 	}
 }
 
@@ -159,13 +190,16 @@ func (p *Processor) startAttempt() {
 	p.txStart = p.sys.kernel.Now()
 	p.pendUseful = 0
 	p.pendMiss = 0
-	p.readLog = make(map[mem.Addr]mem.Version)
+	p.readSet.Reset()
 	p.sharingVec.Reset()
 	p.writingVec.Reset()
-	p.writeLines = nil
-	p.pendingWrite = nil
-	p.pendingRead = nil
-	p.writeDirs = nil
+	for _, d := range p.writeDirs {
+		p.writeLines[d] = p.writeLines[d][:0]
+	}
+	p.writeDirs = p.writeDirs[:0]
+	p.valTok++ // retire any probe bookkeeping from the previous attempt
+	p.pendWriteN = 0
+	p.pendReadN = 0
 	if p.keepTID {
 		// Starvation mitigation, retry path: the early TID is retained
 		// across the restart ("a starved transaction keeps its TID at
@@ -190,9 +224,8 @@ func (p *Processor) startAttempt() {
 
 func (p *Processor) requestTID() {
 	p.waitingTID = true
-	p.sys.send(p.id, p.sys.vendorNode, MsgTIDReq, func() {
-		p.sys.vendorIssue(p.id)
-	})
+	i, _ := p.sys.newMsg(MsgTIDReq, p.id, p.sys.vendorNode)
+	p.sys.sendMsg(i)
 }
 
 // step executes operations until it must wait (compute delay, load miss) or
@@ -207,7 +240,7 @@ func (p *Processor) step() {
 	case workload.Compute:
 		p.opIdx++
 		p.pendUseful += uint64(op.Cycles)
-		p.sys.kernel.After(sim.Time(op.Cycles), p.guard(p.step))
+		p.sys.kernel.PostAfter(sim.Time(op.Cycles), p, prStep, p.epoch, 0)
 	case workload.Load:
 		p.doLoad(op.Addr)
 	case workload.Store:
@@ -241,18 +274,53 @@ func (p *Processor) doLoad(a mem.Addr) {
 			p.pendMiss += uint64(lat - 1)
 		}
 		p.opIdx++
-		p.sys.kernel.After(lat, p.guard(p.step))
+		p.sys.kernel.PostAfter(lat, p, prStep, p.epoch, 0)
 		return
 	}
 	// Miss (or partially invalidated line): fetch from the home directory.
 	p.issueMiss(a, home)
 }
 
+// fillAt returns the fill-tracking slot for base, or nil. An absent slot is
+// equivalent to an all-zero one.
+func (p *Processor) fillAt(base mem.Addr) *fillTrack {
+	for i := range p.fills {
+		if p.fills[i].base == base {
+			return &p.fills[i]
+		}
+	}
+	return nil
+}
+
+// fillSlot returns (allocating) the fill-tracking slot for base.
+func (p *Processor) fillSlot(base mem.Addr) *fillTrack {
+	if t := p.fillAt(base); t != nil {
+		return t
+	}
+	p.fills = append(p.fills, fillTrack{base: base})
+	return &p.fills[len(p.fills)-1]
+}
+
+// gcFill releases base's tracking slot once it is all-zero again.
+func (p *Processor) gcFill(base mem.Addr) {
+	for i := range p.fills {
+		t := &p.fills[i]
+		if t.base == base {
+			if t.out == 0 && t.kills == 0 && !t.refill {
+				n := len(p.fills) - 1
+				p.fills[i] = p.fills[n]
+				p.fills = p.fills[:n]
+			}
+			return
+		}
+	}
+}
+
 func (p *Processor) issueMiss(a mem.Addr, home int) {
 	p.phase = phWaitLoad
 	p.missStart = p.sys.kernel.Now()
 	p.missLine = p.sys.cfg.Geometry.Line(a)
-	if p.refills[p.missLine] {
+	if t := p.fillAt(p.missLine); t != nil && t.refill {
 		return // an out-of-band refill of this line is already in flight
 	}
 	p.sendFill(a, home)
@@ -262,11 +330,11 @@ func (p *Processor) issueMiss(a mem.Addr, home int) {
 // race. The request carries the requester's TID (if any) so the directory
 // can serve logically-earlier loads past a marked line.
 func (p *Processor) sendFill(a mem.Addr, home int) {
-	p.fillsOut[p.sys.cfg.Geometry.Line(a)]++
-	reqTID := p.tid
-	p.sys.send(p.id, home, MsgLoadReq, func() {
-		p.sys.dirs[home].recvLoad(a, p.id, reqTID)
-	})
+	p.fillSlot(p.sys.cfg.Geometry.Line(a)).out++
+	i, m := p.sys.newMsg(MsgLoadReq, p.id, home)
+	m.addr = a
+	m.t = p.tid
+	p.sys.sendMsg(i)
 }
 
 // onLoadResp completes a load or store-allocate miss: install or merge the
@@ -276,24 +344,33 @@ func (p *Processor) sendFill(a mem.Addr, home int) {
 // home directory's FIFO channel delivers any subsequent invalidation after
 // it.
 func (p *Processor) onLoadResp(base mem.Addr, data []mem.Version) {
-	if p.fillsOut[base] > 0 {
-		p.fillsOut[base]--
-	}
-	if p.fillKills[base] > 0 {
-		// An invalidation for this line overtook the fill: the data may
-		// predate the invalidating commit. Drop it and retry the fetch.
-		p.fillKills[base]--
-		if p.refills[base] || (p.phase == phWaitLoad && p.missLine == base) {
-			p.sendFill(base, p.homeOf(base))
+	if ft := p.fillAt(base); ft != nil {
+		if ft.out > 0 {
+			ft.out--
 		}
-		return
+		if ft.kills > 0 {
+			// An invalidation for this line overtook the fill: the data may
+			// predate the invalidating commit. Drop it and retry the fetch.
+			ft.kills--
+			if ft.refill || (p.phase == phWaitLoad && p.missLine == base) {
+				p.sendFill(base, p.homeOf(base))
+			}
+			p.gcFill(base)
+			return
+		}
 	}
-	isRefill := p.refills[base]
+	ft := p.fillAt(base)
+	isRefill := ft != nil && ft.refill
 	isDemand := p.phase == phWaitLoad && p.missLine == base
 	if !isRefill && !isDemand {
+		p.gcFill(base)
 		return // stale response from a rolled-back attempt
 	}
-	delete(p.refills, base)
+	if isRefill {
+		ft.refill = false
+		p.refillCount--
+	}
+	p.gcFill(base)
 	line := p.fillLine(base, data)
 	if line != nil && p.sys.obsv != nil {
 		p.sys.emit(obs.Event{Kind: obs.KFill, Node: p.id, Peer: p.homeOf(base), Addr: uint64(base)})
@@ -315,11 +392,11 @@ func (p *Processor) onLoadResp(base mem.Addr, data []mem.Version) {
 		p.finishLoad(line, w, op.Addr)
 		p.pendUseful++
 		p.opIdx++
-		p.sys.kernel.After(1, p.guard(p.step))
+		p.sys.kernel.PostAfter(1, p, prStep, p.epoch, 0)
 		return
 	}
 	// Store-allocate fill: re-dispatch the store, which now hits.
-	p.sys.kernel.After(1, p.guard(p.step))
+	p.sys.kernel.PostAfter(1, p, prStep, p.epoch, 0)
 }
 
 // fillLine installs or merges arriving line data. Merging never overwrites
@@ -345,7 +422,7 @@ func (p *Processor) fillLine(base mem.Addr, data []mem.Version) *cache.Line {
 		// a commit could have changed any of them — including words that
 		// stayed locally valid or were later overwritten by SM stores.
 		if line.SR.Has(w) {
-			read := p.readLog[g.WordAddr(base, w)]
+			read, _ := p.readSet.Get(g.WordAddr(base, w))
 			if data[w] != read && (p.tid == tid.None || data[w] < mem.Version(p.tid)) {
 				violated = true
 				conflictVersion = data[w]
@@ -368,10 +445,14 @@ func (p *Processor) fillLine(base mem.Addr, data []mem.Version) *cache.Line {
 // processor re-enters the line's sharers list and keeps receiving
 // invalidations for the speculatively-read words it still tracks.
 func (p *Processor) requestRefill(base mem.Addr) {
-	if p.refills[base] || (p.phase == phWaitLoad && p.missLine == base) {
+	if t := p.fillAt(base); t != nil && t.refill {
 		return
 	}
-	p.refills[base] = true
+	if p.phase == phWaitLoad && p.missLine == base {
+		return
+	}
+	p.fillSlot(base).refill = true
+	p.refillCount++
 	p.sendFill(base, p.homeOf(base))
 }
 
@@ -380,11 +461,8 @@ func (p *Processor) requestRefill(base mem.Addr) {
 func (p *Processor) finishLoad(line *cache.Line, w int, a mem.Addr) {
 	if !line.SM.Has(w) {
 		line.SR = line.SR.Set(w)
-		if _, seen := p.readLog[a]; !seen {
-			p.readLog[a] = line.Data[w]
-			if p.sys.obsv != nil {
-				p.sys.emit(obs.Event{Kind: obs.KRead, Node: p.id, Peer: -1, Addr: uint64(a), Arg: int64(line.Data[w])})
-			}
+		if p.readSet.Add(a, line.Data[w]) && p.sys.obsv != nil {
+			p.sys.emit(obs.Event{Kind: obs.KRead, Node: p.id, Peer: -1, Addr: uint64(a), Arg: int64(line.Data[w])})
 		}
 	}
 }
@@ -417,7 +495,7 @@ func (p *Processor) doStore(a mem.Addr) {
 	line.VW = line.VW.Set(w)
 	p.pendUseful++
 	p.opIdx++
-	p.sys.kernel.After(p.sys.cfg.L1Latency, p.guard(p.step))
+	p.sys.kernel.PostAfter(p.sys.cfg.L1Latency, p, prStep, p.epoch, 0)
 }
 
 // disposeVictim handles a line evicted by a fill: committed-dirty data is
@@ -437,18 +515,21 @@ func (p *Processor) disposeVictim(v *cache.Victim) {
 	if v.Dirty {
 		p.writeBackData(v.Base, v.OW, v.Data, true)
 	}
+	// writeBackData snapshots the data, so the victim's buffer is dead here.
+	p.cache.Recycle(v.Data)
 }
 
 // writeBackData posts committed data to the home directory, tagged with the
 // processor's most recent TID (the paper's write-back race fix). remove
 // reports whether the line left the cache.
 func (p *Processor) writeBackData(base mem.Addr, words bits.WordMask, data []mem.Version, remove bool) {
-	home := p.homeOf(base)
-	tag := p.lastTID
-	snap := append([]mem.Version(nil), data...)
-	p.sys.send(p.id, home, MsgWriteBack, func() {
-		p.sys.dirs[home].recvWriteBack(base, tag, words, snap, p.id, remove)
-	})
+	i, m := p.sys.newMsg(MsgWriteBack, p.id, p.homeOf(base))
+	m.addr = base
+	m.t = p.lastTID
+	m.words = words
+	m.data = p.sys.copyLine(data)
+	m.flag = remove
+	p.sys.sendMsg(i)
 }
 
 // ---------------------------------------------------------------------------
@@ -464,18 +545,16 @@ func (p *Processor) beginValidation() {
 	p.commitStart = p.sys.kernel.Now()
 
 	// Snapshot the write-set grouped by home directory.
-	p.writeLines = make(map[int][]writeLine)
 	p.cache.ForEach(func(l *cache.Line) {
 		if !l.SM.Any() {
 			return
 		}
 		home := p.homeOf(l.Base)
+		if len(p.writeLines[home]) == 0 {
+			p.writeDirs = append(p.writeDirs, home)
+		}
 		p.writeLines[home] = append(p.writeLines[home], writeLine{base: l.Base, words: l.SM})
 	})
-	p.writeDirs = p.writeDirs[:0]
-	for d := range p.writeLines {
-		p.writeDirs = append(p.writeDirs, d)
-	}
 	sortInts(p.writeDirs)
 
 	switch {
@@ -497,7 +576,7 @@ func (p *Processor) onTIDResp(t tid.TID) {
 	if p.tidDisposals > 0 {
 		// The requesting attempt violated while the request was in flight.
 		p.tidDisposals--
-		p.skipAll(t, nil)
+		p.skipAll(t, false)
 		p.sys.vendorRetire(t)
 		return
 	}
@@ -516,51 +595,49 @@ func (p *Processor) onTIDResp(t tid.TID) {
 // proceedValidation multicasts skips to all directories outside the
 // write-set, then probes the write- and read-set directories.
 func (p *Processor) proceedValidation() {
-	p.skipAll(p.tid, p.writeLines)
+	p.skipAll(p.tid, true)
 
-	p.pendingWrite = make(map[int]bool, len(p.writeDirs))
-	p.pendingRead = make(map[int]bool)
+	tok := p.valTok
 	for _, d := range p.writeDirs {
-		p.pendingWrite[d] = true
+		p.pendTokW[d] = tok
 	}
+	p.pendWriteN = len(p.writeDirs)
+	p.readDirs = p.readDirs[:0]
 	p.sharingVec.ForEach(func(d int) {
-		if !p.pendingWrite[d] {
-			p.pendingRead[d] = true
+		if p.pendTokW[d] != tok {
+			p.pendTokR[d] = tok
+			p.readDirs = append(p.readDirs, d)
 		}
 	})
+	p.pendReadN = len(p.readDirs)
 
 	for _, d := range p.writeDirs {
 		p.sendProbe(d, true)
 	}
-	readDirs := make([]int, 0, len(p.pendingRead))
-	for d := range p.pendingRead {
-		readDirs = append(readDirs, d)
-	}
-	sortInts(readDirs)
-	for _, d := range readDirs {
+	for _, d := range p.readDirs {
 		p.sendProbe(d, false)
 	}
 	p.checkCommitReady()
 }
 
-// skipAll sends Skip(t) to every directory not in the write-set. exclude is
-// the write-set map (nil when disposing of an unused TID).
-func (p *Processor) skipAll(t tid.TID, exclude map[int][]writeLine) {
+// skipAll sends Skip(t) to every directory not in the write-set.
+// excludeWrites is false when disposing of an unused TID (skip everywhere).
+func (p *Processor) skipAll(t tid.TID, excludeWrites bool) {
 	for d := 0; d < p.sys.cfg.Procs; d++ {
-		if exclude != nil {
-			if _, isWrite := exclude[d]; isWrite {
-				continue
-			}
+		if excludeWrites && len(p.writeLines[d]) > 0 {
+			continue
 		}
-		dir := p.sys.dirs[d]
-		p.sys.send(p.id, d, MsgSkip, func() { dir.recvSkip(t) })
+		i, m := p.sys.newMsg(MsgSkip, p.id, d)
+		m.t = t
+		p.sys.sendMsg(i)
 	}
 }
 
 func (p *Processor) sendProbe(d int, write bool) {
-	dir := p.sys.dirs[d]
-	t := p.tid
-	p.sys.send(p.id, d, MsgProbe, func() { dir.recvProbe(t, write, p.id) })
+	i, m := p.sys.newMsg(MsgProbe, p.id, d)
+	m.t = p.tid
+	m.flag = write
+	p.sys.sendMsg(i)
 }
 
 // onProbeResp handles a directory's NSTID answer. Answers to probes sent by
@@ -570,11 +647,12 @@ func (p *Processor) onProbeResp(d int, probed, nstid tid.TID) {
 	if p.phase != phValidating || p.tid == tid.None || probed != p.tid {
 		return // stale: response to an attempt that already aborted
 	}
-	if p.pendingWrite[d] {
+	if p.pendTokW[d] == p.valTok {
 		switch {
 		case nstid == p.tid:
 			p.sendMarks(d)
-			delete(p.pendingWrite, d)
+			p.pendTokW[d] = 0
+			p.pendWriteN--
 			p.checkCommitReady()
 		case nstid < p.tid:
 			if p.sys.cfg.DeferredProbes {
@@ -589,9 +667,10 @@ func (p *Processor) onProbeResp(d int, probed, nstid tid.TID) {
 		}
 		return
 	}
-	if p.pendingRead[d] {
+	if p.pendTokR[d] == p.valTok {
 		if nstid >= p.tid {
-			delete(p.pendingRead, d)
+			p.pendTokR[d] = 0
+			p.pendReadN--
 			p.checkCommitReady()
 			return
 		}
@@ -603,38 +682,43 @@ func (p *Processor) onProbeResp(d int, probed, nstid tid.TID) {
 }
 
 func (p *Processor) reprobe(d int, write bool) {
-	p.sys.kernel.After(p.sys.cfg.ReprobeDelay, p.guard(func() {
-		if p.phase == phValidating {
-			p.sendProbe(d, write)
-		}
-	}))
+	a2 := uint64(d) << 1
+	if write {
+		a2 |= 1
+	}
+	p.sys.kernel.PostAfter(p.sys.cfg.ReprobeDelay, p, prReprobe, p.epoch, a2)
 }
 
 // sendMarks pre-commits the write-set lines homed at directory d.
 func (p *Processor) sendMarks(d int) {
 	g := p.sys.cfg.Geometry
-	dir := p.sys.dirs[d]
 	t := p.tid
 	for _, wl := range p.writeLines[d] {
 		words := wl.words
 		if p.sys.cfg.LineGranularity {
 			words = bits.All(g.WordsPerLine())
 		}
-		var data []mem.Version
+		i, m := p.sys.newMsg(MsgMark, p.id, d)
+		m.addr = wl.base
+		m.t = t
+		m.words = words
 		if p.sys.cfg.WriteThroughCommit {
 			// Ship the final committed versions with the mark.
 			line := p.cache.Peek(wl.base)
-			data = make([]mem.Version, g.WordsPerLine())
+			data := p.sys.acquireBuf()
 			for w := range data {
-				if wl.words.Has(w) {
+				switch {
+				case wl.words.Has(w):
 					data[w] = mem.Version(t)
-				} else if line != nil {
+				case line != nil:
 					data[w] = line.Data[w]
+				default:
+					data[w] = 0
 				}
 			}
+			m.data = data
 		}
-		base := wl.base
-		p.sys.send(p.id, d, MsgMark, func() { dir.recvMark(t, base, words, data, p.id) })
+		p.sys.sendMsg(i)
 	}
 }
 
@@ -642,10 +726,10 @@ func (p *Processor) checkCommitReady() {
 	if p.phase != phValidating || p.waitingTID || p.tid == tid.None {
 		return
 	}
-	if len(p.pendingWrite) != 0 || len(p.pendingRead) != 0 {
+	if p.pendWriteN != 0 || p.pendReadN != 0 {
 		return
 	}
-	if len(p.refills) != 0 {
+	if p.refillCount != 0 {
 		// An out-of-band refill is re-validating speculatively-read words of
 		// a line we were invalidated off; its answer may violate this
 		// transaction, so the commit point cannot pass yet.
@@ -659,34 +743,31 @@ func (p *Processor) doCommit() {
 	t := p.tid
 	if p.sys.obsv != nil {
 		p.sys.emit(obs.Event{Kind: obs.KCommit, Node: p.id, Peer: -1, TID: uint64(t),
-			Set: fmt.Sprintf("%v", p.writeDirs), Arg: int64(len(p.readLog))})
+			Set: fmt.Sprintf("%v", p.writeDirs), Arg: int64(p.readSet.Len())})
 	}
 	for _, d := range p.writeDirs {
-		dir := p.sys.dirs[d]
-		p.sys.send(p.id, d, MsgCommit, func() { dir.recvCommit(t, p.id) })
+		i, m := p.sys.newMsg(MsgCommit, p.id, d)
+		m.t = t
+		p.sys.sendMsg(i)
 	}
 
 	// Local finalization: committed versions, dirty/owned lines, log entry.
-	record := CommitRecord{
-		TID:   t,
-		Proc:  p.id,
-		Reads: p.readLog,
-		Writes: func() map[mem.Addr]mem.Version {
-			ws := make(map[mem.Addr]mem.Version)
-			g := p.sys.cfg.Geometry
-			for _, lines := range p.writeLines {
-				for _, wl := range lines {
-					for w := 0; w < g.WordsPerLine(); w++ {
-						if wl.words.Has(w) {
-							ws[g.WordAddr(wl.base, w)] = mem.Version(t)
-						}
+	// The footprint record exists only for the serializability oracle, so its
+	// maps are built only when log collection is on.
+	if p.sys.collectLog {
+		g := p.sys.cfg.Geometry
+		ws := make(map[mem.Addr]mem.Version)
+		for _, d := range p.writeDirs {
+			for _, wl := range p.writeLines[d] {
+				for w := 0; w < g.WordsPerLine(); w++ {
+					if wl.words.Has(w) {
+						ws[g.WordAddr(wl.base, w)] = mem.Version(t)
 					}
 				}
 			}
-			return ws
-		}(),
+		}
+		p.sys.logCommit(CommitRecord{TID: t, Proc: p.id, Reads: p.readSet.Map(), Writes: ws})
 	}
-	p.sys.logCommit(record)
 
 	if p.sys.cfg.WriteThroughCommit {
 		// Data went with the marks; committed lines are clean.
@@ -723,7 +804,7 @@ func (p *Processor) doCommit() {
 	p.tid = tid.None
 	p.epoch++
 	p.txIdx++
-	p.sys.kernel.After(1, p.beginTx)
+	p.sys.kernel.PostAfter(1, p, prBeginTx, 0, 0)
 }
 
 // ---------------------------------------------------------------------------
@@ -735,8 +816,8 @@ func (p *Processor) onInv(fromDir int, base mem.Addr, committer tid.TID, words b
 
 	// Always acknowledge: the committing directory cannot advance its NSTID
 	// until all invalidations are accounted for (the race-elimination rule).
-	dir := p.sys.dirs[fromDir]
-	p.sys.send(p.id, fromDir, MsgInvAck, func() { dir.recvInvAck() })
+	i, _ := p.sys.newMsg(MsgInvAck, p.id, fromDir)
+	p.sys.sendMsg(i)
 
 	p.killOutstandingFills(base)
 	if line == nil {
@@ -755,8 +836,8 @@ func (p *Processor) onInv(fromDir int, base mem.Addr, committer tid.TID, words b
 // invalidation overtook them, so their data may predate the invalidating
 // commit (the paper's load/invalidate race fix).
 func (p *Processor) killOutstandingFills(base mem.Addr) {
-	if n := p.fillsOut[base]; n > 0 {
-		p.fillKills[base] = n
+	if ft := p.fillAt(base); ft != nil && ft.out > 0 {
+		ft.kills = ft.out
 	}
 }
 
@@ -830,8 +911,9 @@ func (p *Processor) violateOn(cause mem.Addr, committer tid.TID) {
 		// account for the TID.
 		t := p.tid
 		for _, d := range p.writeDirs {
-			dir := p.sys.dirs[d]
-			p.sys.send(p.id, d, MsgAbort, func() { dir.recvAbort(t) })
+			i, m := p.sys.newMsg(MsgAbort, p.id, d)
+			m.t = t
+			p.sys.sendMsg(i)
 		}
 		p.sys.vendorRetire(t)
 	default:
@@ -849,17 +931,18 @@ func (p *Processor) violateOn(cause mem.Addr, committer tid.TID) {
 	if !p.keepTID {
 		p.tid = tid.None
 	}
-	p.sys.kernel.After(p.sys.cfg.ViolationRestartCost, p.guard(p.startAttempt))
+	p.sys.kernel.PostAfter(p.sys.cfg.ViolationRestartCost, p, prStartAttempt, p.epoch, 0)
 }
 
 // onFlushReq serves a directory's data request for an owned line: flush the
 // committed data back, keep the line cached (clean), and remain a sharer.
 func (p *Processor) onFlushReq(fromDir int, base mem.Addr) {
-	dir := p.sys.dirs[fromDir]
 	line := p.cache.Peek(base)
 	if line == nil || !line.Dirty {
 		// The line was evicted (write-back in flight) or already flushed.
-		p.sys.send(p.id, fromDir, MsgFlushNack, func() { dir.recvFlushNack(base, p.id) })
+		i, m := p.sys.newMsg(MsgFlushNack, p.id, fromDir)
+		m.addr = base
+		p.sys.sendMsg(i)
 		return
 	}
 	if p.sys.obsv != nil {
@@ -867,8 +950,10 @@ func (p *Processor) onFlushReq(fromDir int, base mem.Addr) {
 	}
 	line.Dirty = false
 	line.OW = 0
-	snap := append([]mem.Version(nil), line.Data...)
-	p.sys.send(p.id, fromDir, MsgFlushResp, func() { dir.recvFlushResp(base, snap, p.id) })
+	i, m := p.sys.newMsg(MsgFlushResp, p.id, fromDir)
+	m.addr = base
+	m.data = p.sys.copyLine(line.Data)
+	p.sys.sendMsg(i)
 }
 
 // onFlushInv handles a commit-time ownership transfer: a later transaction
@@ -876,20 +961,19 @@ func (p *Processor) onFlushReq(fromDir int, base mem.Addr) {
 // like an invalidation for conflict detection, and additionally returns the
 // owned words so the directory can salvage them into memory.
 func (p *Processor) onFlushInv(fromDir int, base mem.Addr, committer tid.TID, words, oldOW bits.WordMask) {
-	dir := p.sys.dirs[fromDir]
 	line := p.cache.Peek(base)
 	if p.sys.obsv != nil {
 		p.sys.emit(obs.Event{Kind: obs.KFlushInv, Node: p.id, Peer: fromDir, Addr: uint64(base),
 			Words: uint64(words), TID: uint64(committer)})
 	}
 
-	var data []mem.Version
+	i, m := p.sys.newMsg(MsgFlushInvResp, p.id, fromDir)
+	m.addr = base
+	m.words = oldOW
 	if line != nil && line.Dirty {
-		data = append([]mem.Version(nil), line.Data...)
+		m.data = p.sys.copyLine(line.Data)
 	}
-	p.sys.send(p.id, fromDir, MsgFlushInvResp, func() {
-		dir.recvFlushInvResp(base, oldOW, data, p.id)
-	})
+	p.sys.sendMsg(i)
 
 	p.killOutstandingFills(base)
 	if line == nil {

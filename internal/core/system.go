@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"scalabletcc/internal/bits"
 	"scalabletcc/internal/cache"
 	"scalabletcc/internal/mem"
 	"scalabletcc/internal/mesh"
@@ -58,6 +59,17 @@ type System struct {
 
 	// msgCounts tallies every protocol message sent, by kind.
 	msgCounts [NumMsgKinds]uint64
+
+	// Message and line-buffer pools for the typed dispatch hot path
+	// (dispatch.go). msgs is the slab of in-flight protocol messages,
+	// msgFree/bufFree are free lists.
+	msgs    []protoMsg
+	msgFree []int32
+	bufFree [][]mem.Version
+
+	// touched is reusable scratch for noteCommit's directories-per-commit
+	// count.
+	touched bits.NodeSet
 
 	// Aggregate measurement (Table 3 / Figures 6-9).
 	totalCommits    uint64
@@ -221,21 +233,15 @@ func (s *System) sampleTick() {
 // the JSONL determinism guarantee).
 func round4(x float64) float64 { return math.Round(x*1e4) / 1e4 }
 
-// send routes a protocol message of the given kind through the mesh.
-func (s *System) send(src, dst int, kind MsgKind, deliver func()) {
-	s.msgCounts[kind]++
-	s.net.Send(src, dst, s.cfg.size(kind), class(kind), deliver)
-}
-
 // vendorIssue services a TID request arriving at the vendor node.
 func (s *System) vendorIssue(requester int) {
 	t := s.vendor.Issue(requester)
 	if s.obsv != nil {
 		s.emit(obs.Event{Kind: obs.KTIDGrant, Node: s.vendorNode, Peer: requester, TID: uint64(t)})
 	}
-	s.send(s.vendorNode, requester, MsgTIDResp, func() {
-		s.procs[requester].onTIDResp(t)
-	})
+	i, m := s.newMsg(MsgTIDResp, s.vendorNode, requester)
+	m.t = t
+	s.sendMsg(i)
 }
 
 func (s *System) vendorRetire(t tid.TID) { s.vendor.Retire(t) }
@@ -251,18 +257,18 @@ func (s *System) noteCommit(p *Processor, instr uint64) {
 	s.totalCommits++
 	s.committedInstr += instr
 	s.txInstrH.Add(instr)
-	s.rdSetH.Add(uint64(len(p.readLog) * s.cfg.Geometry.WordSize))
+	s.rdSetH.Add(uint64(p.readSet.Len() * s.cfg.Geometry.WordSize))
 	var wrWords int
-	touched := map[int]bool{}
-	for d, lines := range p.writeLines {
-		touched[d] = true
-		for _, wl := range lines {
+	s.touched.Reset()
+	for _, d := range p.writeDirs {
+		s.touched.Set(d)
+		for _, wl := range p.writeLines[d] {
 			wrWords += wl.words.Count()
 		}
 	}
-	p.sharingVec.ForEach(func(d int) { touched[d] = true })
+	p.sharingVec.ForEach(func(d int) { s.touched.Set(d) })
 	s.wrSetH.Add(uint64(wrWords * s.cfg.Geometry.WordSize))
-	s.dirsTouchedH.Add(uint64(len(touched)))
+	s.dirsTouchedH.Add(uint64(s.touched.Count()))
 }
 
 func (s *System) noteViolation(*Processor) { s.totalViolations++ }
@@ -286,8 +292,7 @@ func (b *barrier) arrive(node int) {
 	}
 	b.arrived = 0
 	for _, p := range b.sys.procs {
-		proc := p
-		b.sys.kernel.After(1, proc.onBarrierRelease)
+		b.sys.kernel.PostAfter(1, p, prBarrierRelease, 0, 0)
 	}
 }
 
@@ -368,8 +373,7 @@ func (r *Results) ClassBytesPerInstr(c mesh.Class) float64 {
 func (s *System) Run() (*Results, error) {
 	s.running = s.cfg.Procs
 	for _, p := range s.procs {
-		proc := p
-		s.kernel.At(0, proc.start)
+		s.kernel.Post(0, p, prStart, 0, 0)
 	}
 	if s.sampleEvery > 0 {
 		s.kernel.At(s.sampleEvery, s.sampleTick)
@@ -397,9 +401,9 @@ func (s *System) Run() (*Results, error) {
 func (s *System) deadlockReport() string {
 	out := ""
 	for _, p := range s.procs {
-		out += fmt.Sprintf("  proc %d: phase=%d tid=%d waitingTID=%v pendW=%v pendR=%v refills=%d fillsOut=%v opIdx=%d/%d tx=%d.%d attempt=%d\n",
-			p.id, p.phase, p.tid, p.waitingTID, p.pendingWrite, p.pendingRead,
-			len(p.refills), p.fillsOut, p.opIdx, len(p.ops), p.progPhase, p.txIdx, p.attempt)
+		out += fmt.Sprintf("  proc %d: phase=%d tid=%d waitingTID=%v pendW=%d pendR=%d refills=%d fills=%v opIdx=%d/%d tx=%d.%d attempt=%d\n",
+			p.id, p.phase, p.tid, p.waitingTID, p.pendWriteN, p.pendReadN,
+			p.refillCount, p.fills, p.opIdx, len(p.ops), p.progPhase, p.txIdx, p.attempt)
 	}
 	for _, d := range s.dirs {
 		out += fmt.Sprintf("  dir %d: nstid=%d commitBusy=%v acks=%d flushes=%d probes=%d stalled=%d doneBits=%d\n",

@@ -112,12 +112,17 @@ func (m *Map) Pages() int { return len(m.home) }
 type Memory struct {
 	geom  Geometry
 	lines map[Addr][]Version
+	slab  []Version // backing store carved into lines on first touch
 }
 
 // NewMemory returns an empty memory bank.
 func NewMemory(g Geometry) *Memory {
 	return &Memory{geom: g, lines: make(map[Addr][]Version)}
 }
+
+// memorySlabLines is how many lines each backing slab holds; first-touch
+// line creation costs one allocation per slab rather than one per line.
+const memorySlabLines = 256
 
 // Line returns the version vector for the line at base, allocating the
 // all-zero initial line on first access. The returned slice is live; callers
@@ -126,7 +131,12 @@ func (m *Memory) Line(base Addr) []Version {
 	if l, ok := m.lines[base]; ok {
 		return l
 	}
-	l := make([]Version, m.geom.WordsPerLine())
+	wpl := m.geom.WordsPerLine()
+	if len(m.slab) < wpl {
+		m.slab = make([]Version, wpl*memorySlabLines)
+	}
+	l := m.slab[:wpl:wpl]
+	m.slab = m.slab[wpl:]
 	m.lines[base] = l
 	return l
 }

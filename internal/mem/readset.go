@@ -1,0 +1,71 @@
+package mem
+
+// ReadSet is the per-transaction read log: the first version observed for
+// every word address the transaction loaded. It replaces a freshly-allocated
+// map per transaction attempt with a dense, reusable structure so steady-state
+// execution allocates nothing.
+//
+// The index map persists across Reset calls and is validated lazily: an index
+// entry is live only if it points inside the current list and the slot still
+// holds its address. Stale entries from earlier attempts are simply
+// overwritten on the next Add of that address, so Reset is O(1) regardless of
+// how large previous read-sets were.
+type ReadSet struct {
+	idx  map[Addr]int32
+	list []ReadSample
+}
+
+// ReadSample is one read-log entry.
+type ReadSample struct {
+	Addr    Addr
+	Version Version
+}
+
+// Reset empties the set, retaining all storage.
+func (r *ReadSet) Reset() { r.list = r.list[:0] }
+
+// Len returns the number of distinct addresses read.
+func (r *ReadSet) Len() int { return len(r.list) }
+
+// slot returns the live list index for a, or -1.
+func (r *ReadSet) slot(a Addr) int32 {
+	i, ok := r.idx[a]
+	if !ok || int(i) >= len(r.list) || r.list[i].Addr != a {
+		return -1
+	}
+	return i
+}
+
+// Add records the first-read version of a. It reports whether the address was
+// newly inserted; a repeated read of the same address leaves the original
+// sample in place, matching first-read semantics.
+func (r *ReadSet) Add(a Addr, v Version) bool {
+	if r.slot(a) >= 0 {
+		return false
+	}
+	if r.idx == nil {
+		r.idx = make(map[Addr]int32)
+	}
+	r.idx[a] = int32(len(r.list))
+	r.list = append(r.list, ReadSample{Addr: a, Version: v})
+	return true
+}
+
+// Get returns the recorded version for a and whether a was read.
+func (r *ReadSet) Get(a Addr) (Version, bool) {
+	i := r.slot(a)
+	if i < 0 {
+		return 0, false
+	}
+	return r.list[i].Version, true
+}
+
+// Map materializes the read-set as a map for the serializability oracle.
+// Allocates; callers gate it on log collection.
+func (r *ReadSet) Map() map[Addr]Version {
+	out := make(map[Addr]Version, len(r.list))
+	for _, s := range r.list {
+		out[s.Addr] = s.Version
+	}
+	return out
+}

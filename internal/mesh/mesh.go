@@ -97,6 +97,16 @@ type Network struct {
 	// links[dir][node] is the directed link leaving node in direction dir.
 	links [4][]link
 
+	// Precomputed XY routing. nextDir[pos*nodes+dst] is the outgoing
+	// direction at grid position pos toward destination node dst, and
+	// neighbor[dir][pos] is the grid position one hop away. Node ids are
+	// row-major grid positions, but intermediate hops can pass through grid
+	// positions beyond the node count (a non-square machine on a near-square
+	// grid), so the tables are indexed by grid position.
+	nodes    int
+	nextDir  []uint8
+	neighbor [4][]int32
+
 	bytesByClass [NumClasses]uint64
 	msgsByClass  [NumClasses]uint64
 	// perNode[i] counts bytes produced by node i (Figure 9 is per-directory
@@ -120,11 +130,50 @@ func New(k *sim.Kernel, nodes int, cfg Config) *Network {
 	if cfg.LinkBytes <= 0 {
 		panic("mesh: LinkBytes must be positive")
 	}
-	n := &Network{k: k, cfg: cfg, perNodeBytes: make([]uint64, nodes)}
+	n := &Network{k: k, cfg: cfg, nodes: nodes, perNodeBytes: make([]uint64, nodes)}
+	gridN := cfg.Width * cfg.Height
 	for d := range n.links {
-		n.links[d] = make([]link, cfg.Width*cfg.Height)
+		n.links[d] = make([]link, gridN)
 	}
+	n.buildRoutes(gridN)
 	return n
+}
+
+// buildRoutes precomputes the per-hop routing decision for every (grid
+// position, destination node) pair, so the per-message hop walk is pure
+// table lookups.
+func (n *Network) buildRoutes(gridN int) {
+	n.nextDir = make([]uint8, gridN*n.nodes)
+	for d := range n.neighbor {
+		n.neighbor[d] = make([]int32, gridN)
+	}
+	w, h := n.cfg.Width, n.cfg.Height
+	for pos := 0; pos < gridN; pos++ {
+		x, y := pos%w, pos/w
+		n.neighbor[dirEast][pos] = int32(y*w + (x+1)%w)
+		n.neighbor[dirWest][pos] = int32(y*w + (x-1+w)%w)
+		n.neighbor[dirNorth][pos] = int32(((y+1)%h)*w + x)
+		n.neighbor[dirSouth][pos] = int32(((y-1+h)%h)*w + x)
+		for dst := 0; dst < n.nodes; dst++ {
+			dx, dy := n.Coord(dst)
+			var dir uint8
+			switch {
+			case x != dx:
+				if n.dimStep(x, dx, w) == (x+1)%w {
+					dir = dirEast
+				} else {
+					dir = dirWest
+				}
+			case y != dy:
+				if n.dimStep(y, dy, h) == (y+1)%h {
+					dir = dirNorth
+				} else {
+					dir = dirSouth
+				}
+			}
+			n.nextDir[pos*n.nodes+dst] = dir
+		}
+	}
 }
 
 // Coord returns the grid coordinates of a node.
@@ -175,18 +224,16 @@ func abs(v int) int {
 	return v
 }
 
-// Send schedules delivery of a message of the given size and class from src
-// to dst, calling deliver at arrival time. Messages between the same pair
-// sent in time order arrive in order (FIFO links, deterministic routing)
-// unless Jitter is configured.
-func (n *Network) Send(src, dst, bytes int, class Class, deliver func()) {
+// route performs the traffic accounting and the hop-by-hop link walk for one
+// message and returns its arrival time at dst. Shared by the closure and
+// typed send forms; it allocates nothing.
+func (n *Network) route(src, dst, bytes int, class Class) sim.Time {
 	n.bytesByClass[class] += uint64(bytes)
 	n.msgsByClass[class]++
 	n.perNodeBytes[src] += uint64(bytes)
 
 	if src == dst {
-		n.k.After(n.cfg.LocalLatency, deliver)
-		return
+		return n.k.Now() + n.cfg.LocalLatency
 	}
 
 	occupancy := sim.Time((bytes + n.cfg.LinkBytes - 1) / n.cfg.LinkBytes)
@@ -194,30 +241,10 @@ func (n *Network) Send(src, dst, bytes int, class Class, deliver func()) {
 		occupancy = 1
 	}
 	t := n.k.Now()
-	x, y := n.Coord(src)
-	dx, dy := n.Coord(dst)
-	for x != dx || y != dy {
-		var d int
-		node := y*n.cfg.Width + x
-		switch {
-		case x != dx:
-			next := n.dimStep(x, dx, n.cfg.Width)
-			if next == (x+1)%n.cfg.Width {
-				d = dirEast
-			} else {
-				d = dirWest
-			}
-			x = next
-		default:
-			next := n.dimStep(y, dy, n.cfg.Height)
-			if next == (y+1)%n.cfg.Height {
-				d = dirNorth
-			} else {
-				d = dirSouth
-			}
-			y = next
-		}
-		l := &n.links[d][node]
+	pos := src
+	for pos != dst {
+		d := n.nextDir[pos*n.nodes+dst]
+		l := &n.links[d][pos]
 		start := t
 		if l.nextFree > start {
 			start = l.nextFree
@@ -225,20 +252,51 @@ func (n *Network) Send(src, dst, bytes int, class Class, deliver func()) {
 		l.nextFree = start + occupancy
 		l.busy += occupancy
 		t = start + n.cfg.HopLatency
+		pos = int(n.neighbor[d][pos])
 		n.hopsTotal++
 	}
 	arrival := t + occupancy // tail of the message drains at the destination
 	if n.cfg.Jitter != nil {
 		arrival += n.cfg.Jitter(src, dst, bytes)
 	}
-	n.k.At(arrival, deliver)
+	return arrival
 }
+
+// Send schedules delivery of a message of the given size and class from src
+// to dst, calling deliver at arrival time. Messages between the same pair
+// sent in time order arrive in order (FIFO links, deterministic routing)
+// unless Jitter is configured. Closure form; hot paths use SendEvent.
+func (n *Network) Send(src, dst, bytes int, class Class, deliver func()) {
+	n.k.At(n.route(src, dst, bytes, class), deliver)
+}
+
+// SendEvent is the allocation-free form of Send: at arrival time the kernel
+// runs h.HandleEvent(code, a1, a2). Message payloads larger than the two
+// argument words live in sender-owned pooled records referenced by index.
+func (n *Network) SendEvent(src, dst, bytes int, class Class, h sim.Handler, code uint32, a1, a2 uint64) {
+	n.k.Post(n.route(src, dst, bytes, class), h, code, a1, a2)
+}
+
+// mcast adapts a per-destination delivery function to the typed event form,
+// so a Multicast allocates one adapter per call instead of one closure per
+// destination.
+type mcast struct{ deliver func(dst int) }
+
+func (m *mcast) HandleEvent(code uint32, a1, a2 uint64) { m.deliver(int(a1)) }
 
 // Multicast sends an identical message to every destination in dsts.
 func (n *Network) Multicast(src int, dsts []int, bytes int, class Class, deliver func(dst int)) {
-	for _, d := range dsts {
-		dst := d
-		n.Send(src, dst, bytes, class, func() { deliver(dst) })
+	h := &mcast{deliver: deliver}
+	for _, dst := range dsts {
+		n.SendEvent(src, dst, bytes, class, h, 0, uint64(dst), 0)
+	}
+}
+
+// MulticastEvent sends an identical message to every destination in dsts,
+// delivering each as a typed event with a1 = destination node. Zero-alloc.
+func (n *Network) MulticastEvent(src int, dsts []int, bytes int, class Class, h sim.Handler, code uint32, a2 uint64) {
+	for _, dst := range dsts {
+		n.SendEvent(src, dst, bytes, class, h, code, uint64(dst), a2)
 	}
 }
 

@@ -264,3 +264,129 @@ func TestTorusDeliveryProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// countHandler is a typed-delivery sink for the zero-alloc checks.
+type countHandler struct{ n int }
+
+func (c *countHandler) HandleEvent(code uint32, a1, a2 uint64) { c.n++ }
+
+// TestSendEventMatchesSend pins the typed path to the closure path: same
+// message sequence, same delivery times.
+func TestSendEventMatchesSend(t *testing.T) {
+	script := []struct{ src, dst, bytes int }{
+		{0, 15, 8}, {3, 3, 64}, {12, 1, 40}, {0, 15, 8}, {7, 8, 16},
+	}
+	var closureTimes []sim.Time
+	{
+		k := &sim.Kernel{}
+		n := New(k, 16, DefaultConfig(16))
+		for _, m := range script {
+			n.Send(m.src, m.dst, m.bytes, ClassMiss, func() { closureTimes = append(closureTimes, k.Now()) })
+		}
+		k.Run(0)
+	}
+	var typedTimes []sim.Time
+	{
+		k := &sim.Kernel{}
+		n := New(k, 16, DefaultConfig(16))
+		h := &countHandler{}
+		for _, m := range script {
+			n.SendEvent(m.src, m.dst, m.bytes, ClassMiss, h, 0, 0, 0)
+			typedTimes = append(typedTimes, 0) // placeholder, filled below
+		}
+		i := 0
+		for k.Step() {
+			typedTimes[i] = k.Now()
+			i++
+		}
+		if h.n != len(script) {
+			t.Fatalf("delivered %d, want %d", h.n, len(script))
+		}
+	}
+	for i := range closureTimes {
+		if closureTimes[i] != typedTimes[i] {
+			t.Fatalf("delivery %d: closure at %d, typed at %d", i, closureTimes[i], typedTimes[i])
+		}
+	}
+}
+
+// TestMeshSteadyStateZeroAlloc pins the zero-allocation guarantee of typed
+// mesh delivery: routing, link accounting, and kernel scheduling must not
+// allocate once warm.
+func TestMeshSteadyStateZeroAlloc(t *testing.T) {
+	k := &sim.Kernel{}
+	n := New(k, 16, DefaultConfig(16))
+	h := &countHandler{}
+	pump := func(rounds int) {
+		for r := 0; r < rounds; r++ {
+			for src := 0; src < 16; src++ {
+				n.SendEvent(src, (src+5)%16, 40, ClassMiss, h, 0, 0, 0)
+			}
+			k.Run(0)
+		}
+	}
+	pump(4) // warm the queue's backing array
+
+	allocs := testing.AllocsPerRun(10, func() { pump(16) })
+	if allocs != 0 {
+		t.Fatalf("typed mesh delivery allocated %v allocs/run, want 0", allocs)
+	}
+}
+
+// TestMulticastEventOrder: typed multicast must deliver in the same order as
+// the closure form (per-destination sends in dsts order).
+func TestMulticastEventOrder(t *testing.T) {
+	dsts := []int{3, 7, 1, 12}
+	var closureOrder []int
+	{
+		k := &sim.Kernel{}
+		n := New(k, 16, DefaultConfig(16))
+		n.Multicast(0, dsts, 16, ClassCommit, func(dst int) { closureOrder = append(closureOrder, dst) })
+		k.Run(0)
+	}
+	var typedOrder []int
+	{
+		k := &sim.Kernel{}
+		n := New(k, 16, DefaultConfig(16))
+		var got []int
+		h := &mcast{deliver: func(dst int) { got = append(got, dst) }}
+		n.MulticastEvent(0, dsts, 16, ClassCommit, h, 0, 0)
+		k.Run(0)
+		typedOrder = got
+	}
+	if len(closureOrder) != len(typedOrder) {
+		t.Fatalf("delivered %v vs %v", closureOrder, typedOrder)
+	}
+	for i := range closureOrder {
+		if closureOrder[i] != typedOrder[i] {
+			t.Fatalf("order %v vs %v", closureOrder, typedOrder)
+		}
+	}
+}
+
+// BenchmarkMeshSendEvent measures one typed message through the mesh,
+// including routing, link contention accounting, and kernel dispatch.
+func BenchmarkMeshSendEvent(b *testing.B) {
+	k := &sim.Kernel{}
+	n := New(k, 16, DefaultConfig(16))
+	h := &countHandler{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.SendEvent(i%16, (i+7)%16, 40, ClassMiss, h, 0, 0, 0)
+		k.Run(0)
+	}
+}
+
+// BenchmarkMeshSendClosure measures the closure shim for comparison.
+func BenchmarkMeshSendClosure(b *testing.B) {
+	k := &sim.Kernel{}
+	n := New(k, 16, DefaultConfig(16))
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Send(i%16, (i+7)%16, 40, ClassMiss, fn)
+		k.Run(0)
+	}
+}

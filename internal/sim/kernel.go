@@ -3,51 +3,57 @@
 // directories, processors, and the TID vendor.
 //
 // The kernel is deliberately minimal: a priority queue of (time, sequence)
-// ordered events, each carrying a closure. Components model latency by
-// scheduling follow-up events; they model occupancy/contention by keeping
-// "next free" timestamps and scheduling work at max(now, nextFree).
+// ordered events. Components model latency by scheduling follow-up events;
+// they model occupancy/contention by keeping "next free" timestamps and
+// scheduling work at max(now, nextFree).
+//
+// Events come in two forms. The hot path is the typed form (Post/PostAfter):
+// a Handler receiver plus a small opcode and two word-sized arguments, stored
+// by value in the queue so steady-state scheduling allocates nothing. The
+// closure form (At/After) is kept as a thin compatibility shim for cold paths
+// and tests; both forms share one queue and one sequence counter, so mixing
+// them cannot perturb execution order.
+//
+// The queue is an inlined 4-ary heap: events are stored by value (no
+// container/heap interface boxing, no per-event heap allocation), and the
+// wider fan-out halves the sift depth of a binary heap, which is where a
+// discrete-event simulator spends much of its time.
 //
 // Determinism is a hard requirement (the serializability checker and the
 // regression tests depend on bit-identical replays), so ties in time are
 // broken by a monotonically increasing sequence number assigned at schedule
-// time.
+// time. The (at, seq) key is a strict total order — no two events compare
+// equal — so heap shape and arity cannot affect pop order.
 package sim
-
-import "container/heap"
 
 // Time is the simulation clock in cycles.
 type Time uint64
 
-// Event is a scheduled closure. Events are ordered by (At, seq).
+// Handler receives typed events. Implementations dispatch on code; a1/a2
+// carry small event-specific payloads (an epoch to guard staleness, a pooled
+// record index, a node id). Larger payloads live in component-owned pools
+// referenced by index through a1/a2.
+type Handler interface {
+	HandleEvent(code uint32, a1, a2 uint64)
+}
+
+// event is one scheduled unit of work, ordered by (at, seq). Exactly one of
+// h and fn is set: h+code+args for the typed hot path, fn for the closure
+// compatibility shim.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	at   Time
+	seq  uint64
+	a1   uint64
+	a2   uint64
+	h    Handler
+	fn   func()
+	code uint32
 }
 
 // Kernel is a deterministic discrete-event scheduler.
 // The zero value is ready to use.
 type Kernel struct {
-	pq   eventHeap
+	pq   []event // inlined 4-ary min-heap on (at, seq)
 	now  Time
 	seq  uint64
 	nRun uint64
@@ -62,15 +68,91 @@ func (k *Kernel) Events() uint64 { return k.nRun }
 // Pending returns the number of events not yet executed.
 func (k *Kernel) Pending() int { return len(k.pq) }
 
-// At schedules fn to run at absolute time t. Scheduling in the past is a
-// programming error and panics: protocol components must never violate
-// causality, and silently clamping would hide bugs.
-func (k *Kernel) At(t Time, fn func()) {
+// less orders heap slots i and j by (at, seq).
+func (k *Kernel) less(i, j int) bool {
+	a, b := &k.pq[i], &k.pq[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push appends e and restores the heap invariant (sift-up).
+func (k *Kernel) push(e event) {
+	k.pq = append(k.pq, e)
+	i := len(k.pq) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !k.less(i, p) {
+			break
+		}
+		k.pq[i], k.pq[p] = k.pq[p], k.pq[i]
+		i = p
+	}
+}
+
+// pop removes and returns the minimum event (sift-down). The vacated tail
+// slot is zeroed so the queue's backing array does not retain closures or
+// handler references past execution.
+func (k *Kernel) pop() event {
+	top := k.pq[0]
+	n := len(k.pq) - 1
+	k.pq[0] = k.pq[n]
+	k.pq[n] = event{}
+	k.pq = k.pq[:n]
+	i := 0
+	for {
+		min := i
+		c0 := 4*i + 1
+		if c0 >= n {
+			break
+		}
+		cEnd := c0 + 4
+		if cEnd > n {
+			cEnd = n
+		}
+		for c := c0; c < cEnd; c++ {
+			if k.less(c, min) {
+				min = c
+			}
+		}
+		if min == i {
+			break
+		}
+		k.pq[i], k.pq[min] = k.pq[min], k.pq[i]
+		i = min
+	}
+	return top
+}
+
+// schedule assigns the tie-break sequence number and enqueues e at t.
+// Scheduling in the past is a programming error and panics: protocol
+// components must never violate causality, and silently clamping would hide
+// bugs.
+func (k *Kernel) schedule(t Time, e event) {
 	if t < k.now {
 		panic("sim: event scheduled in the past")
 	}
 	k.seq++
-	heap.Push(&k.pq, event{at: t, seq: k.seq, fn: fn})
+	e.at = t
+	e.seq = k.seq
+	k.push(e)
+}
+
+// Post schedules a typed event: at time t, h.HandleEvent(code, a1, a2) runs.
+// This is the allocation-free hot path — the event is stored by value.
+func (k *Kernel) Post(t Time, h Handler, code uint32, a1, a2 uint64) {
+	k.schedule(t, event{h: h, code: code, a1: a1, a2: a2})
+}
+
+// PostAfter schedules a typed event d cycles from now.
+func (k *Kernel) PostAfter(d Time, h Handler, code uint32, a1, a2 uint64) {
+	k.Post(k.now+d, h, code, a1, a2)
+}
+
+// At schedules fn to run at absolute time t. Closure form; cold paths only.
+func (k *Kernel) At(t Time, fn func()) {
+	k.schedule(t, event{fn: fn})
 }
 
 // After schedules fn to run d cycles from now.
@@ -82,10 +164,14 @@ func (k *Kernel) Step() bool {
 	if len(k.pq) == 0 {
 		return false
 	}
-	e := heap.Pop(&k.pq).(event)
+	e := k.pop()
 	k.now = e.at
 	k.nRun++
-	e.fn()
+	if e.h != nil {
+		e.h.HandleEvent(e.code, e.a1, e.a2)
+	} else {
+		e.fn()
+	}
 	return true
 }
 
