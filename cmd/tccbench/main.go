@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -46,8 +48,43 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "per-run wall-clock timeout, e.g. 10m (0 = none)")
 		progress = flag.Bool("progress", false, "print per-experiment run progress to stderr")
 		events   = flag.Bool("events", false, "count protocol events per run and add them to the JSON report cells")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to FILE (analyze with go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write an allocation profile to FILE at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // flush unreachable objects so the profile shows live state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	opts := experiments.DefaultOptions()
 	opts.Scale = *scale

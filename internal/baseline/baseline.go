@@ -238,7 +238,7 @@ func (s *System) Run() (*Results, error) {
 		if s.cfg.MaxCycles > 0 && s.kernel.Now() > s.cfg.MaxCycles {
 			return nil, fmt.Errorf("baseline: watchdog expired at cycle %d", s.kernel.Now())
 		}
-		s.kernel.Step()
+		s.kernel.StepCycle()
 	}
 	if s.running != 0 {
 		return nil, fmt.Errorf("baseline: deadlock with %d processors unfinished", s.running)

@@ -195,10 +195,12 @@ func (p *proc) finishAccess(line *cache.Line, w int, a mem.Addr, write bool) {
 	if write {
 		line.SM = line.SM.Set(w)
 		line.VW = line.VW.Set(w)
+		p.cache.Track(line)
 		return
 	}
 	if !line.SM.Has(w) {
 		line.SR = line.SR.Set(w)
+		p.cache.Track(line)
 		p.readSet.Add(a, line.Data[w])
 	}
 }
@@ -227,7 +229,7 @@ func (p *proc) onToken() {
 		words bits.WordMask
 	}
 	var wset []wline
-	p.cache.ForEach(func(l *cache.Line) {
+	p.cache.ForEachSpeculative(func(l *cache.Line) {
 		if l.SM.Any() {
 			wset = append(wset, wline{base: l.Base, words: l.SM})
 		}
@@ -274,9 +276,8 @@ func (p *proc) onToken() {
 				}
 			}
 		}
-		p.cache.CommitTx(seq)
-		// Write-through: no owned lines; the dirty bits are cleared.
-		p.cache.ForEach(func(l *cache.Line) { l.Dirty = false; l.OW = 0 })
+		// Write-through: committed lines stay clean and unowned.
+		p.cache.CommitTxWriteThrough(seq)
 
 		if record != nil {
 			p.sys.commitLog = append(p.sys.commitLog, *record)

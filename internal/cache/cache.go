@@ -17,6 +17,7 @@ package cache
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"scalabletcc/internal/bits"
@@ -34,6 +35,13 @@ type Line struct {
 	SM    bits.WordMask // words speculatively modified by the current transaction
 	Data  []mem.Version // per-word versions (stand-in for data)
 	lru   uint64
+
+	// idx is the line's slot index in the main array (-1 for overflow lines);
+	// it survives whole-struct resets so the speculative-line list can be
+	// replayed in deterministic array order. tracked marks membership in that
+	// list for the current transaction.
+	idx     int32
+	tracked bool
 }
 
 // Speculative reports whether the line carries any transaction-local state.
@@ -68,6 +76,13 @@ type Cache struct {
 	clock    uint64
 	stats    Stats
 	bufFree  [][]mem.Version // line-data buffer pool; all WordsPerLine-sized
+
+	// spec lists the main-array lines that gained SR/SM state during the
+	// current transaction (in first-touch order; possibly with stale or
+	// duplicate entries after invalidations — the tracked flag disambiguates).
+	// It lets CommitTx/RollbackTx touch only the transaction's footprint
+	// instead of scanning all sets*ways lines.
+	spec []*Line
 }
 
 // New builds a cache of sizeBytes with the given associativity.
@@ -80,13 +95,17 @@ func New(geom mem.Geometry, sizeBytes, ways int) *Cache {
 	if sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache: set count %d not a power of two", sets))
 	}
-	return &Cache{
+	c := &Cache{
 		geom:     geom,
 		sets:     sets,
 		ways:     ways,
 		lines:    make([]Line, nlines),
 		overflow: make(map[mem.Addr]*Line),
 	}
+	for i := range c.lines {
+		c.lines[i].idx = int32(i)
+	}
+	return c
 }
 
 // Geometry returns the cache's address geometry.
@@ -125,8 +144,10 @@ func (c *Cache) Peek(base mem.Addr) *Line {
 			return &set[i]
 		}
 	}
-	if l, ok := c.overflow[base]; ok {
-		return l
+	if len(c.overflow) != 0 {
+		if l, ok := c.overflow[base]; ok {
+			return l
+		}
 	}
 	return nil
 }
@@ -159,7 +180,7 @@ func (c *Cache) Insert(base mem.Addr, data []mem.Version) (*Line, *Victim) {
 	if victim == nil {
 		// Every way pinned by speculative state: spill to the overflow area.
 		c.stats.Spills++
-		l := &Line{Base: base, Valid: true, VW: full, Data: c.cloneData(data), lru: c.clock}
+		l := &Line{Base: base, Valid: true, VW: full, Data: c.cloneData(data), lru: c.clock, idx: -1}
 		c.overflow[base] = l
 		if len(c.overflow) > c.stats.MaxOverflow {
 			c.stats.MaxOverflow = len(c.overflow)
@@ -179,7 +200,7 @@ func (c *Cache) Insert(base mem.Addr, data []mem.Version) (*Line, *Victim) {
 			c.Recycle(victim.Data)
 		}
 	}
-	*victim = Line{Base: base, Valid: true, VW: full, Data: c.cloneData(data), lru: c.clock}
+	*victim = Line{Base: base, Valid: true, VW: full, Data: c.cloneData(data), lru: c.clock, idx: victim.idx}
 	return victim, out
 }
 
@@ -216,7 +237,7 @@ func (c *Cache) Invalidate(base mem.Addr) *Line {
 		if set[i].Valid && set[i].Base == base {
 			c.stats.Invalidations++
 			snap := set[i]
-			set[i] = Line{}
+			set[i] = Line{idx: set[i].idx}
 			return &snap
 		}
 	}
@@ -231,6 +252,43 @@ func (c *Cache) ForEach(fn func(l *Line)) {
 		if c.lines[i].Valid {
 			fn(&c.lines[i])
 		}
+	}
+	for _, base := range c.overflowKeys() {
+		fn(c.overflow[base])
+	}
+}
+
+// Track registers l as carrying speculative state (SR or SM) for the current
+// transaction. Callers invoke it whenever they set an SR or SM bit; repeat
+// calls on an already-tracked line are O(1) no-ops. Tracked lines are the
+// only main-array lines CommitTx, RollbackTx, and ForEachSpeculative visit,
+// which keeps transaction finalization proportional to the transaction's
+// footprint rather than the cache size. Overflow lines are not tracked — the
+// (almost always empty) overflow map is walked directly.
+func (c *Cache) Track(l *Line) {
+	if l.tracked || l.idx < 0 {
+		return
+	}
+	l.tracked = true
+	c.spec = append(c.spec, l)
+}
+
+// ForEachSpeculative calls fn for every line that gained speculative state in
+// the current transaction, in the same deterministic order ForEach would
+// visit them (main array by ascending slot index, then overflow lines by
+// ascending address). fn must not insert or invalidate lines.
+func (c *Cache) ForEachSpeculative(fn func(l *Line)) {
+	slices.SortFunc(c.spec, func(a, b *Line) int { return int(a.idx) - int(b.idx) })
+	var prev *Line
+	for _, l := range c.spec {
+		// Skip stale entries (slot invalidated since tracking — the reset
+		// cleared the flag) and duplicates (slot re-tracked after a reset;
+		// equal pointers are adjacent once sorted).
+		if !l.tracked || !l.Valid || l == prev {
+			continue
+		}
+		prev = l
+		fn(l)
 	}
 	for _, base := range c.overflowKeys() {
 		fn(c.overflow[base])
@@ -255,18 +313,22 @@ func (c *Cache) overflowKeys() []mem.Addr {
 // bulk invalidate); SR bits are gang-cleared. Overflow lines that lose their
 // speculative state are released.
 func (c *Cache) RollbackTx() {
-	for i := range c.lines {
-		l := &c.lines[i]
+	for _, l := range c.spec {
+		if !l.tracked {
+			continue // slot invalidated (and possibly re-filled) since tracking
+		}
+		l.tracked = false
 		if !l.Valid {
 			continue
 		}
 		if l.SM.Any() {
 			c.Recycle(l.Data)
-			*l = Line{}
+			*l = Line{idx: l.idx}
 			continue
 		}
 		l.SR = 0
 	}
+	c.spec = c.spec[:0]
 	for base, l := range c.overflow {
 		// Overflow space models scarce virtualized storage: rolled-back
 		// lines are released whether they held SM data (dropped) or only SR
@@ -282,30 +344,52 @@ func (c *Cache) RollbackTx() {
 // are drained back toward the main array opportunistically; any that cannot
 // fit are returned as victims for the processor to write back or drop.
 func (c *Cache) CommitTx(tid mem.Version) []Victim {
-	var spillOut []Victim
-	finish := func(l *Line) {
-		if l.SM.Any() {
-			for w := range l.Data {
-				if l.SM.Has(w) {
-					l.Data[w] = tid
-				}
+	return c.commitTx(tid, false)
+}
+
+// CommitTxWriteThrough is CommitTx for write-through commit architectures:
+// committed data travels to memory with the commit itself, so finalized lines
+// stay clean and unowned (Dirty=false, OW=0) instead of becoming owned.
+func (c *Cache) CommitTxWriteThrough(tid mem.Version) []Victim {
+	return c.commitTx(tid, true)
+}
+
+// finishLine finalizes one line's speculative state at commit. Under
+// write-back ownership, SM words make the line Dirty with OW=SM; under
+// write-through, memory already has the data, so the line stays clean.
+func (c *Cache) finishLine(l *Line, tid mem.Version, writeThrough bool) {
+	if l.SM.Any() {
+		for w := range l.Data {
+			if l.SM.Has(w) {
+				l.Data[w] = tid
 			}
+		}
+		if !writeThrough {
 			// The dirty-bit rule guarantees a line is clean before it is
 			// speculatively written, so the owned words are exactly SM.
 			l.Dirty = true
 			l.OW = l.SM
 		}
-		l.SR = 0
-		l.SM = 0
 	}
-	for i := range c.lines {
-		if c.lines[i].Valid {
-			finish(&c.lines[i])
+	l.SR = 0
+	l.SM = 0
+}
+
+func (c *Cache) commitTx(tid mem.Version, writeThrough bool) []Victim {
+	var spillOut []Victim
+	for _, l := range c.spec {
+		if !l.tracked {
+			continue // slot invalidated (and possibly re-filled) since tracking
+		}
+		l.tracked = false
+		if l.Valid {
+			c.finishLine(l, tid, writeThrough)
 		}
 	}
+	c.spec = c.spec[:0]
 	for _, base := range c.overflowKeys() {
 		l := c.overflow[base]
-		finish(l)
+		c.finishLine(l, tid, writeThrough)
 		delete(c.overflow, base)
 		// Try to re-home the line in its set now that pins are released.
 		set := c.set(base)
@@ -333,7 +417,9 @@ func (c *Cache) CommitTx(tid mem.Version) []Victim {
 			}
 			spillOut = append(spillOut, Victim{Base: slot.Base, Dirty: slot.Dirty, OW: slot.OW, Data: slot.Data})
 		}
+		si := slot.idx
 		*slot = *l
+		slot.idx = si
 	}
 	return spillOut
 }

@@ -111,8 +111,10 @@ func TestRollbackTx(t *testing.T) {
 	c := small()
 	lr, _ := c.Insert(0x0, line0(1))
 	lr.SR = lr.SR.Set(2)
+	c.Track(lr)
 	lw, _ := c.Insert(0x20, line0(2))
 	lw.SM = lw.SM.Set(3)
+	c.Track(lw)
 	ld, _ := c.Insert(0x40, line0(3))
 	ld.Dirty = true
 	c.RollbackTx()
@@ -132,6 +134,7 @@ func TestCommitTx(t *testing.T) {
 	l, _ := c.Insert(0x0, line0(0))
 	l.SM = l.SM.Set(1).Set(3)
 	l.SR = l.SR.Set(5)
+	c.Track(l)
 	spill := c.CommitTx(42)
 	if len(spill) != 0 {
 		t.Fatalf("unexpected spill: %v", spill)
@@ -155,10 +158,13 @@ func TestCommitDrainsOverflow(t *testing.T) {
 	c := small()
 	a, _ := c.Insert(0x0, line0(1))
 	a.SR = a.SR.Set(0)
+	c.Track(a)
 	b, _ := c.Insert(0x200, line0(2))
 	b.SR = b.SR.Set(0)
+	c.Track(b)
 	ov, _ := c.Insert(0x400, line0(3))
 	ov.SM = ov.SM.Set(0)
+	c.Track(ov) // overflow line: Track is a no-op, the map walk covers it
 	if c.Stats().Spills != 1 {
 		t.Fatal("expected a spill")
 	}
@@ -173,6 +179,85 @@ func TestCommitDrainsOverflow(t *testing.T) {
 	}
 	if c.SpeculativeLines() != 0 {
 		t.Fatal("speculative state survived commit")
+	}
+}
+
+// Tracked-line bookkeeping must survive the awkward lifecycles: a tracked
+// slot being invalidated (stale entry), re-filled and re-tracked (duplicate
+// entry), and plain repeat tracking.
+func TestTrackStaleAndDuplicateEntries(t *testing.T) {
+	c := small()
+	l, _ := c.Insert(0x0, line0(1))
+	l.SR = l.SR.Set(0)
+	c.Track(l)
+	c.Track(l) // repeat tracking is a no-op
+	c.Invalidate(0x0)
+
+	// Re-fill the same slot with a different line and track it again: the
+	// stale first entry and the fresh one now alias the same slot.
+	l2, _ := c.Insert(0x0, line0(2))
+	l2.SM = l2.SM.Set(1)
+	c.Track(l2)
+
+	n := 0
+	c.ForEachSpeculative(func(got *Line) {
+		n++
+		if got.Base != 0x0 || !got.SM.Has(1) {
+			t.Fatalf("unexpected speculative line %+v", got)
+		}
+	})
+	if n != 1 {
+		t.Fatalf("ForEachSpeculative visited %d lines, want 1", n)
+	}
+
+	c.CommitTx(7)
+	if got := c.Peek(0x0); got == nil || got.Data[1] != 7 || got.SM != 0 {
+		t.Fatalf("commit through duplicate tracking failed: %+v", c.Peek(0x0))
+	}
+	if c.SpeculativeLines() != 0 {
+		t.Fatal("speculative state survived commit")
+	}
+
+	// Same shape through rollback: the SM line must drop, and the stale
+	// entry must not resurrect anything.
+	l3, _ := c.Insert(0x20, line0(3))
+	l3.SM = l3.SM.Set(0)
+	c.Track(l3)
+	c.Invalidate(0x20)
+	c.RollbackTx()
+	if c.Peek(0x20) != nil {
+		t.Fatal("stale tracked entry resurrected an invalidated line")
+	}
+}
+
+// ForEachSpeculative must visit main-array lines in slot order and overflow
+// lines last in address order, matching ForEach's deterministic order.
+func TestForEachSpeculativeOrder(t *testing.T) {
+	c := small()
+	// Insert in descending set order so first-touch order differs from slot
+	// order.
+	hi, _ := c.Insert(0x1e0, line0(1)) // set 15
+	hi.SM = hi.SM.Set(0)
+	c.Track(hi)
+	lo, _ := c.Insert(0x0, line0(2)) // set 0
+	lo.SR = lo.SR.Set(0)
+	c.Track(lo)
+
+	var want []mem.Addr
+	c.ForEach(func(l *Line) {
+		if l.Speculative() {
+			want = append(want, l.Base)
+		}
+	})
+	var got []mem.Addr
+	c.ForEachSpeculative(func(l *Line) { got = append(got, l.Base) })
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("order mismatch: got %v, want %v", got, want)
+		}
 	}
 }
 

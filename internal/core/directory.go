@@ -229,14 +229,15 @@ func (d *Directory) enqueueMsg(i int32) {
 
 // HandleEvent runs the directory's typed kernel events: pipeline-stage
 // completions (dirExec) and prepared memory reads becoming ready to send
-// (dirMemReady). The message is copied out of the pool before dispatch —
-// handlers may allocate new messages, which can move the slab.
+// (dirMemReady). The message is read in place through a pointer: exec*
+// handlers may allocate new messages (moving the slab), but each exec* call's
+// arguments are field loads evaluated before the handler body runs, and the
+// pointer is never dereferenced after a handler returns.
 func (d *Directory) HandleEvent(code uint32, a1, a2 uint64) {
 	switch code {
 	case dirExec:
 		i := int32(a1)
-		m := d.sys.msgs[i]
-		d.exec(m)
+		d.exec(&d.sys.msgs[i])
 		d.sys.freeMsg(i)
 	case dirMemReady:
 		d.sys.sendMsg(int32(a1))
@@ -245,7 +246,7 @@ func (d *Directory) HandleEvent(code uint32, a1, a2 uint64) {
 	}
 }
 
-func (d *Directory) exec(m protoMsg) {
+func (d *Directory) exec(m *protoMsg) {
 	switch m.kind {
 	case MsgSkip:
 		d.execSkip(m.t)

@@ -75,12 +75,14 @@ func (s *System) newMsg(kind MsgKind, src, dst int) (int32, *protoMsg) {
 }
 
 // freeMsg returns a message record (and its data buffer, if any) to the pool.
+// Only the data pointer is cleared; newMsg overwrites the whole record on
+// reallocation, so zeroing the rest here would be redundant work per message.
 func (s *System) freeMsg(i int32) {
 	m := &s.msgs[i]
 	if m.data != nil {
 		s.releaseBuf(m.data)
+		m.data = nil
 	}
-	*m = protoMsg{}
 	s.msgFree = append(s.msgFree, i)
 }
 
@@ -116,12 +118,17 @@ func (s *System) copyLine(src []mem.Version) []mem.Version {
 // Processor- and vendor-bound messages are dispatched (and freed) here;
 // directory-bound ones enter the destination directory's occupancy pipeline
 // and are freed after the pipeline stage executes.
+//
+// The message is read through a pointer into the pool rather than copied out:
+// handlers may allocate new messages (moving the slab), but every handler
+// argument below is a field load evaluated before the handler body runs, and
+// m is never dereferenced after a handler returns.
 func (s *System) HandleEvent(code uint32, a1, a2 uint64) {
 	if code != sysMsg {
 		panic("core: unknown system event")
 	}
 	i := int32(a1)
-	m := s.msgs[i]
+	m := &s.msgs[i]
 	switch m.kind {
 	case MsgLoadResp:
 		s.procs[m.dst].onLoadResp(m.addr, m.data)

@@ -461,6 +461,7 @@ func (p *Processor) requestRefill(base mem.Addr) {
 func (p *Processor) finishLoad(line *cache.Line, w int, a mem.Addr) {
 	if !line.SM.Has(w) {
 		line.SR = line.SR.Set(w)
+		p.cache.Track(line)
 		if p.readSet.Add(a, line.Data[w]) && p.sys.obsv != nil {
 			p.sys.emit(obs.Event{Kind: obs.KRead, Node: p.id, Peer: -1, Addr: uint64(a), Arg: int64(line.Data[w])})
 		}
@@ -493,6 +494,7 @@ func (p *Processor) doStore(a mem.Addr) {
 	}
 	line.SM = line.SM.Set(w)
 	line.VW = line.VW.Set(w)
+	p.cache.Track(line)
 	p.pendUseful++
 	p.opIdx++
 	p.sys.kernel.PostAfter(p.sys.cfg.L1Latency, p, prStep, p.epoch, 0)
@@ -545,7 +547,7 @@ func (p *Processor) beginValidation() {
 	p.commitStart = p.sys.kernel.Now()
 
 	// Snapshot the write-set grouped by home directory.
-	p.cache.ForEach(func(l *cache.Line) {
+	p.cache.ForEachSpeculative(func(l *cache.Line) {
 		if !l.SM.Any() {
 			return
 		}
@@ -770,9 +772,8 @@ func (p *Processor) doCommit() {
 	}
 
 	if p.sys.cfg.WriteThroughCommit {
-		// Data went with the marks; committed lines are clean.
-		_ = p.cache.CommitTx(mem.Version(t))
-		p.cache.ForEach(func(l *cache.Line) { l.Dirty = false })
+		// Data went with the marks; committed lines stay clean.
+		_ = p.cache.CommitTxWriteThrough(mem.Version(t))
 	} else {
 		for _, v := range p.cache.CommitTx(mem.Version(t)) {
 			vic := v

@@ -378,12 +378,14 @@ func (s *System) Run() (*Results, error) {
 	if s.sampleEvery > 0 {
 		s.kernel.At(s.sampleEvery, s.sampleTick)
 	}
+	// Batch dispatch: StepCycle drains each simulated cycle's events in one
+	// pass, so the watchdog check runs per cycle rather than per event.
 	for s.kernel.Pending() > 0 {
 		if s.cfg.MaxCycles > 0 && s.kernel.Now() > s.cfg.MaxCycles {
 			return nil, fmt.Errorf("core: watchdog expired at cycle %d (%d procs still running)",
 				s.kernel.Now(), s.running)
 		}
-		s.kernel.Step()
+		s.kernel.StepCycle()
 	}
 	if s.running != 0 {
 		return nil, fmt.Errorf("core: deadlock — event queue drained with %d processors unfinished\n%s",

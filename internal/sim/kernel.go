@@ -14,20 +14,41 @@
 // and tests; both forms share one queue and one sequence counter, so mixing
 // them cannot perturb execution order.
 //
-// The queue is an inlined 4-ary heap: events are stored by value (no
-// container/heap interface boxing, no per-event heap allocation), and the
-// wider fan-out halves the sift depth of a binary heap, which is where a
-// discrete-event simulator spends much of its time.
+// The queue is a two-level bucketed timing wheel. Nearly every event this
+// simulator schedules lands within a short horizon of the current cycle —
+// hop latencies, cache and directory occupancies, memory accesses are all
+// single-digit to low-hundreds of cycles — so the first level is a dense
+// ring of per-cycle buckets covering the next wheelSize cycles. Scheduling
+// within the horizon is an O(1) append; popping is an O(1) bitmap scan to
+// the next occupied bucket. The rare far-future event (a long back-off, a
+// sampler tick, a congested pipeline's drift) goes to a second-level 4-ary
+// min-heap and migrates into the ring when the wheel advances within
+// wheelSize cycles of it.
 //
 // Determinism is a hard requirement (the serializability checker and the
 // regression tests depend on bit-identical replays), so ties in time are
 // broken by a monotonically increasing sequence number assigned at schedule
-// time. The (at, seq) key is a strict total order — no two events compare
-// equal — so heap shape and arity cannot affect pop order.
+// time. The (at, seq) key is a strict total order. Inside a bucket that
+// order is maintained for free: all events in one bucket share one cycle,
+// new events always carry a larger sequence number than anything already
+// queued, and overflow events migrate in (at, seq) heap order before any
+// later event can be appended behind them — so bucket append order is
+// sequence order, and the wheel pops exactly the order the old heap did.
 package sim
+
+import "math/bits"
 
 // Time is the simulation clock in cycles.
 type Time uint64
+
+// Wheel geometry: wheelSize per-cycle buckets (a power of two), with a
+// 64-bit-word occupancy bitmap for O(1) next-bucket scans.
+const (
+	wheelBits  = 8
+	wheelSize  = 1 << wheelBits // horizon: cycles the dense ring covers
+	wheelMask  = wheelSize - 1
+	wheelWords = wheelSize / 64
+)
 
 // Handler receives typed events. Implementations dispatch on code; a1/a2
 // carry small event-specific payloads (an epoch to guard staleness, a pooled
@@ -50,10 +71,43 @@ type event struct {
 	code uint32
 }
 
+// node is one wheel-resident event in the shared slab, linked into its
+// bucket's FIFO list. Links are 1-based slab indices; 0 is the nil link, so
+// the Kernel's zero value needs no initialization.
+type node struct {
+	ev   event
+	next int32
+}
+
 // Kernel is a deterministic discrete-event scheduler.
 // The zero value is ready to use.
 type Kernel struct {
-	pq   []event // inlined 4-ary min-heap on (at, seq)
+	// Level 1: the dense ring. Bucket t&wheelMask holds the events of cycle
+	// t for t in [base, base+wheelSize) as a FIFO list of slab nodes
+	// (head/tail are 1-based indices into nodes; 0 = empty); occ mirrors
+	// which buckets are non-empty. The slab and its free list grow to the
+	// peak event population once and then recycle, so steady-state
+	// scheduling allocates nothing.
+	nodes   []node
+	free    int32 // free-list head, 1-based; 0 = empty
+	head    [wheelSize]int32
+	tail    [wheelSize]int32
+	occ     [wheelWords]uint64
+	base    Time
+	inWheel int
+
+	// Level 2: far-future events (at >= base+wheelSize), an inlined 4-ary
+	// min-heap on (at, seq).
+	over []event
+
+	// cur is the drain buffer: the current cycle's bucket is copied here (in
+	// sequence order) so dispatch never touches queue structure between
+	// same-cycle events; curIdx is the next undispatched slot. Handlers
+	// posting back into the current cycle append to the (now empty) ring
+	// bucket, which is drained next.
+	cur    []event
+	curIdx int
+
 	now  Time
 	seq  uint64
 	nRun uint64
@@ -66,63 +120,8 @@ func (k *Kernel) Now() Time { return k.now }
 func (k *Kernel) Events() uint64 { return k.nRun }
 
 // Pending returns the number of events not yet executed.
-func (k *Kernel) Pending() int { return len(k.pq) }
-
-// less orders heap slots i and j by (at, seq).
-func (k *Kernel) less(i, j int) bool {
-	a, b := &k.pq[i], &k.pq[j]
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-// push appends e and restores the heap invariant (sift-up).
-func (k *Kernel) push(e event) {
-	k.pq = append(k.pq, e)
-	i := len(k.pq) - 1
-	for i > 0 {
-		p := (i - 1) / 4
-		if !k.less(i, p) {
-			break
-		}
-		k.pq[i], k.pq[p] = k.pq[p], k.pq[i]
-		i = p
-	}
-}
-
-// pop removes and returns the minimum event (sift-down). The vacated tail
-// slot is zeroed so the queue's backing array does not retain closures or
-// handler references past execution.
-func (k *Kernel) pop() event {
-	top := k.pq[0]
-	n := len(k.pq) - 1
-	k.pq[0] = k.pq[n]
-	k.pq[n] = event{}
-	k.pq = k.pq[:n]
-	i := 0
-	for {
-		min := i
-		c0 := 4*i + 1
-		if c0 >= n {
-			break
-		}
-		cEnd := c0 + 4
-		if cEnd > n {
-			cEnd = n
-		}
-		for c := c0; c < cEnd; c++ {
-			if k.less(c, min) {
-				min = c
-			}
-		}
-		if min == i {
-			break
-		}
-		k.pq[i], k.pq[min] = k.pq[min], k.pq[i]
-		i = min
-	}
-	return top
+func (k *Kernel) Pending() int {
+	return k.inWheel + len(k.over) + (len(k.cur) - k.curIdx)
 }
 
 // schedule assigns the tie-break sequence number and enqueues e at t.
@@ -136,7 +135,127 @@ func (k *Kernel) schedule(t Time, e event) {
 	k.seq++
 	e.at = t
 	e.seq = k.seq
-	k.push(e)
+	if t-k.base < wheelSize {
+		k.bucketPut(e)
+	} else {
+		k.overPush(e)
+	}
+}
+
+// bucketPut appends e to its ring bucket and marks the bucket occupied.
+// The caller guarantees e.at is within the wheel's current window.
+func (k *Kernel) bucketPut(e event) {
+	var n int32
+	if k.free != 0 {
+		n = k.free
+		k.free = k.nodes[n-1].next
+	} else {
+		k.nodes = append(k.nodes, node{})
+		n = int32(len(k.nodes))
+	}
+	nd := &k.nodes[n-1]
+	nd.ev = e
+	nd.next = 0
+	i := int(e.at) & wheelMask
+	if t := k.tail[i]; t != 0 {
+		k.nodes[t-1].next = n
+	} else {
+		k.head[i] = n
+		k.occ[i>>6] |= 1 << (i & 63)
+	}
+	k.tail[i] = n
+	k.inWheel++
+}
+
+// advance moves the wheel's window to [t, t+wheelSize) and migrates every
+// overflow event that now falls inside it. Migration pops the overflow heap
+// in (at, seq) order, so same-cycle overflow events enter their bucket in
+// sequence order — and any event posted to that bucket afterwards carries a
+// larger sequence number, preserving the total order.
+func (k *Kernel) advance(t Time) {
+	k.base = t
+	horizon := t + wheelSize
+	for len(k.over) > 0 && k.over[0].at < horizon {
+		k.bucketPut(k.overPop())
+	}
+}
+
+// scanDist returns the ring distance from base to the first occupied bucket.
+// The caller guarantees inWheel > 0; all resident events lie in
+// [base, base+wheelSize), so ring order from base is time order.
+func (k *Kernel) scanDist() int {
+	j := int(k.base) & wheelMask
+	w := j >> 6
+	off := j & 63
+	if v := k.occ[w] >> off; v != 0 {
+		return bits.TrailingZeros64(v)
+	}
+	d := 64 - off
+	for i := 1; i <= wheelWords; i++ {
+		if v := k.occ[(w+i)&(wheelWords-1)]; v != 0 {
+			return d + bits.TrailingZeros64(v)
+		}
+		d += 64
+	}
+	panic("sim: occupancy bitmap empty with events in the wheel")
+}
+
+// refill loads the next non-empty bucket into the drain buffer and advances
+// the clock to its cycle. It reports false when no events are pending.
+func (k *Kernel) refill() bool {
+	if len(k.cur) > 0 {
+		// Drop handler/closure references from the dispatched events before
+		// the drain buffer is reused.
+		clear(k.cur)
+		k.cur = k.cur[:0]
+	}
+	k.curIdx = 0
+	if k.inWheel == 0 {
+		if len(k.over) == 0 {
+			return false
+		}
+		k.advance(k.over[0].at)
+	} else if d := k.scanDist(); d != 0 {
+		k.advance(k.base + Time(d))
+	}
+	k.drainBucket()
+	k.now = k.base
+	return true
+}
+
+// drainBucket copies the current cycle's bucket into the drain buffer in
+// FIFO (sequence) order and returns its nodes to the free list.
+func (k *Kernel) drainBucket() {
+	i := int(k.base) & wheelMask
+	for h := k.head[i]; h != 0; {
+		nd := &k.nodes[h-1]
+		k.cur = append(k.cur, nd.ev)
+		next := nd.next
+		// Only the reference-carrying fields need dropping before the node
+		// is recycled; payload words are overwritten on reuse.
+		nd.ev.h = nil
+		nd.ev.fn = nil
+		nd.next = k.free
+		k.free = h
+		h = next
+		k.inWheel--
+	}
+	k.head[i], k.tail[i] = 0, 0
+	k.occ[i>>6] &^= 1 << (i & 63)
+}
+
+// peekTime returns the earliest pending event time.
+func (k *Kernel) peekTime() (Time, bool) {
+	if k.curIdx < len(k.cur) {
+		return k.cur[k.curIdx].at, true
+	}
+	if k.inWheel > 0 {
+		return k.base + Time(k.scanDist()), true
+	}
+	if len(k.over) > 0 {
+		return k.over[0].at, true
+	}
+	return 0, false
 }
 
 // Post schedules a typed event: at time t, h.HandleEvent(code, a1, a2) runs.
@@ -161,11 +280,11 @@ func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
 // Step executes the single earliest pending event and reports whether one
 // existed.
 func (k *Kernel) Step() bool {
-	if len(k.pq) == 0 {
+	if k.curIdx >= len(k.cur) && !k.refill() {
 		return false
 	}
-	e := k.pop()
-	k.now = e.at
+	e := &k.cur[k.curIdx]
+	k.curIdx++
 	k.nRun++
 	if e.h != nil {
 		e.h.HandleEvent(e.code, e.a1, e.a2)
@@ -175,11 +294,44 @@ func (k *Kernel) Step() bool {
 	return true
 }
 
+// StepCycle executes every pending event of the earliest pending cycle —
+// including events its handlers post back into the same cycle — as one
+// batch, without touching the queue structure between events. It reports
+// whether any event ran. This is the simulator's main-loop fast path: the
+// per-event cost is an index increment and the handler call.
+func (k *Kernel) StepCycle() bool {
+	if k.curIdx >= len(k.cur) && !k.refill() {
+		return false
+	}
+	for {
+		for k.curIdx < len(k.cur) {
+			e := &k.cur[k.curIdx]
+			k.curIdx++
+			k.nRun++
+			if e.h != nil {
+				e.h.HandleEvent(e.code, e.a1, e.a2)
+			} else {
+				e.fn()
+			}
+		}
+		// Handlers may have posted back into the current cycle; its ring
+		// bucket is the only one that can hold time == now.
+		i := int(k.now) & wheelMask
+		if k.occ[i>>6]&(1<<(i&63)) == 0 {
+			return true
+		}
+		clear(k.cur)
+		k.cur = k.cur[:0]
+		k.curIdx = 0
+		k.drainBucket()
+	}
+}
+
 // Run executes events until the queue drains or limit events have run in this
 // call (0 means no limit). It returns true if the queue drained.
 func (k *Kernel) Run(limit uint64) bool {
 	var n uint64
-	for len(k.pq) > 0 {
+	for k.Pending() > 0 {
 		if limit != 0 && n >= limit {
 			return false
 		}
@@ -192,12 +344,80 @@ func (k *Kernel) Run(limit uint64) bool {
 // RunUntil executes events with at-time <= deadline. Events scheduled later
 // remain pending. Returns true if the queue drained.
 func (k *Kernel) RunUntil(deadline Time) bool {
-	for len(k.pq) > 0 && k.pq[0].at <= deadline {
-		k.Step()
+	for {
+		t, ok := k.peekTime()
+		if !ok {
+			k.now = deadline
+			if deadline > k.base {
+				k.base = deadline // empty wheel: window may jump freely
+			}
+			return true
+		}
+		if t > deadline {
+			return false
+		}
+		k.StepCycle()
 	}
-	if len(k.pq) == 0 {
-		k.now = deadline
-		return true
+}
+
+// ---------------------------------------------------------------------------
+// Overflow level: an inlined 4-ary min-heap on (at, seq) for events beyond
+// the wheel horizon. The wider fan-out halves the sift depth of a binary
+// heap; events are stored by value, so steady state allocates nothing.
+
+// overLess orders heap slots i and j by (at, seq).
+func (k *Kernel) overLess(i, j int) bool {
+	a, b := &k.over[i], &k.over[j]
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return false
+	return a.seq < b.seq
+}
+
+// overPush appends e and restores the heap invariant (sift-up).
+func (k *Kernel) overPush(e event) {
+	k.over = append(k.over, e)
+	i := len(k.over) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !k.overLess(i, p) {
+			break
+		}
+		k.over[i], k.over[p] = k.over[p], k.over[i]
+		i = p
+	}
+}
+
+// overPop removes and returns the minimum event (sift-down). The vacated
+// tail slot is zeroed so the heap's backing array does not retain closures
+// or handler references past migration.
+func (k *Kernel) overPop() event {
+	top := k.over[0]
+	n := len(k.over) - 1
+	k.over[0] = k.over[n]
+	k.over[n] = event{}
+	k.over = k.over[:n]
+	i := 0
+	for {
+		min := i
+		c0 := 4*i + 1
+		if c0 >= n {
+			break
+		}
+		cEnd := c0 + 4
+		if cEnd > n {
+			cEnd = n
+		}
+		for c := c0; c < cEnd; c++ {
+			if k.overLess(c, min) {
+				min = c
+			}
+		}
+		if min == i {
+			break
+		}
+		k.over[i], k.over[min] = k.over[min], k.over[i]
+		i = min
+	}
+	return top
 }

@@ -174,6 +174,188 @@ func TestKernelMatchesReferenceModel(t *testing.T) {
 	}
 }
 
+// heapRef is a reference binary min-heap on (at, seq) — an independent
+// implementation of the ordering contract the timing wheel must honor, used
+// to cross-check the wheel's pop order under workloads that stress the
+// horizon boundary and the overflow level.
+type heapRef struct {
+	now Time
+	seq uint64
+	evs []refEvent
+}
+
+func (h *heapRef) less(i, j int) bool {
+	a, b := h.evs[i], h.evs[j]
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+func (h *heapRef) push(t Time, id int) {
+	h.seq++
+	h.evs = append(h.evs, refEvent{at: t, seq: h.seq, id: id})
+	for i := len(h.evs) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.evs[i], h.evs[p] = h.evs[p], h.evs[i]
+		i = p
+	}
+}
+
+func (h *heapRef) pop() (refEvent, bool) {
+	if len(h.evs) == 0 {
+		return refEvent{}, false
+	}
+	top := h.evs[0]
+	n := len(h.evs) - 1
+	h.evs[0] = h.evs[n]
+	h.evs = h.evs[:n]
+	for i := 0; ; {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && h.less(c+1, c) {
+			c++
+		}
+		if !h.less(c, i) {
+			break
+		}
+		h.evs[i], h.evs[c] = h.evs[c], h.evs[i]
+		i = c
+	}
+	h.now = top.at
+	return top, true
+}
+
+// guardedHandler models the codebase's cancellation idiom: events are never
+// removed from the queue; a stale event finds its guard flipped at dispatch
+// time and dies silently. The wheel and the reference must agree on which
+// events were live at their (identically ordered) pop points.
+type guardedHandler struct {
+	log       *[]int
+	cancelled map[int]bool
+}
+
+func (h *guardedHandler) HandleEvent(code uint32, a1, a2 uint64) {
+	if id := int(a1); !h.cancelled[id] {
+		*h.log = append(*h.log, id)
+	}
+}
+
+// TestWheelMatchesReferenceHeapQuick drives the timing wheel and an
+// independent reference heap through identical random schedule/pop/cancel
+// workloads and requires identical pop order and clocks. The delta mix is
+// chosen to stress every wheel regime: same-cycle appends, near-horizon
+// buckets, the exact horizon boundary (wheelSize−1 / wheelSize / wheelSize+1,
+// i.e. ring vs overflow classification), multi-wrap times, and far-future
+// events that sit in the overflow level across many window advances.
+func TestWheelMatchesReferenceHeapQuick(t *testing.T) {
+	deltas := []Time{
+		0, 1, 2, 5, 7, 63, 64,
+		wheelSize - 1, wheelSize, wheelSize + 1,
+		2*wheelSize - 1, 2 * wheelSize, 2*wheelSize + 5,
+		1000, 4096, 10007,
+	}
+	check := func(seed int64, n int) bool {
+		r := rand.New(rand.NewSource(seed))
+		var k Kernel
+		var ref heapRef
+		var kLog, rLog []int
+		cancelled := make(map[int]bool)
+		var outstanding []int
+		h := &guardedHandler{log: &kLog, cancelled: cancelled}
+		id := 0
+
+		pop := func() bool {
+			e, ok := ref.pop()
+			if k.Step() != ok {
+				t.Errorf("seed %d: pop existence diverged at event %d", seed, len(rLog))
+				return false
+			}
+			if !ok {
+				return true
+			}
+			if !cancelled[e.id] {
+				rLog = append(rLog, e.id)
+			}
+			if k.Now() != ref.now {
+				t.Errorf("seed %d: clock diverged kernel=%d ref=%d", seed, k.Now(), ref.now)
+				return false
+			}
+			return true
+		}
+
+		for i := 0; i < n; i++ {
+			switch r.Intn(10) {
+			case 0, 1, 2, 3, 4:
+				d := deltas[r.Intn(len(deltas))]
+				k.PostAfter(d, h, 0, uint64(id), 0)
+				ref.push(ref.now+d, id)
+				outstanding = append(outstanding, id)
+				id++
+			case 5, 6, 7:
+				if !pop() {
+					return false
+				}
+			case 8:
+				// Cancel-style: guard off a random scheduled event. Both
+				// sides still pop it (in the same position); neither logs it.
+				if len(outstanding) > 0 {
+					cancelled[outstanding[r.Intn(len(outstanding))]] = true
+				}
+			case 9:
+				for j := 0; j < 6; j++ {
+					if !pop() {
+						return false
+					}
+				}
+			}
+		}
+		for k.Pending() > 0 {
+			if !pop() {
+				return false
+			}
+		}
+		if len(ref.evs) != 0 {
+			t.Errorf("seed %d: reference still holds %d events after kernel drained", seed, len(ref.evs))
+			return false
+		}
+		if !reflect.DeepEqual(kLog, rLog) {
+			t.Errorf("seed %d: pop order diverged\n kernel: %v\n ref:    %v", seed, kLog, rLog)
+			return false
+		}
+		return true
+	}
+
+	cfg := &quick.Config{
+		MaxCount: 150,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(r.Int63())
+			args[1] = reflect.ValueOf(50 + r.Intn(250))
+		},
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWheelPastSchedulePanics pins the causality guard with a clock far from
+// zero: after the window has advanced, scheduling even one cycle in the past
+// must panic rather than wrap into a live bucket.
+func TestWheelPastSchedulePanics(t *testing.T) {
+	var k Kernel
+	h := &guardedHandler{log: new([]int), cancelled: map[int]bool{}}
+	k.Post(3*wheelSize+7, h, 0, 0, 0)
+	k.Run(0) // now == 3*wheelSize+7
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling before now did not panic")
+		}
+	}()
+	k.Post(k.Now()-1, h, 0, 1, 0)
+}
+
 // selfPump reschedules itself n times — the steady-state shape of a
 // processor's step loop — so AllocsPerRun sees a realistic mixed push/pop
 // load with typed events only.
