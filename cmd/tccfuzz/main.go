@@ -1,0 +1,104 @@
+// Command tccfuzz runs the protocol fuzz campaign: adversarial machine
+// configurations and workloads, each simulated under the continuous
+// invariant auditor. Failures are shrunk to minimal reproducers and written
+// as deterministic repro tapes.
+//
+// Usage:
+//
+//	tccfuzz -duration 60s -jobs 4 -out fuzz-out
+//	tccfuzz -duration 15m -seed 7 -out artifacts/fuzz
+//	tccfuzz -replay testdata/fuzz/fuzz-audit-skip-vector-bounds-15.json
+//	tccfuzz -replay 'testdata/fuzz/*.json'
+//
+// Exit status is non-zero if the campaign found failures (tapes are written
+// to -out) or a replay did not reproduce its tape's expected class.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"scalabletcc/internal/fuzz"
+)
+
+func main() {
+	var (
+		duration    = flag.Duration("duration", 60*time.Second, "campaign wall-clock budget")
+		seed        = flag.Uint64("seed", 1, "case-generator seed")
+		jobs        = flag.Int("jobs", 0, "parallel workers (0 = GOMAXPROCS)")
+		outDir      = flag.String("out", "fuzz-out", "directory for repro tapes ('' = don't write tapes)")
+		caseTimeout = flag.Duration("case-timeout", 2*time.Minute, "wall-clock guard per case")
+		shrinkBudg  = flag.Int("shrink-budget", 200, "max simulations spent shrinking one failure")
+		maxFail     = flag.Int("max-failures", 3, "stop after this many failures")
+		replay      = flag.String("replay", "", "replay repro tape(s) (file or glob) instead of fuzzing")
+		verbose     = flag.Bool("v", false, "log per-case progress to stderr")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		os.Exit(replayTapes(*replay))
+	}
+
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+	rep, err := fuzz.Campaign(fuzz.Options{
+		Duration:     *duration,
+		Seed:         *seed,
+		Jobs:         *jobs,
+		CaseTimeout:  *caseTimeout,
+		ShrinkBudget: *shrinkBudg,
+		MaxFailures:  *maxFail,
+		OutDir:       *outDir,
+		Logf:         logf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("tccfuzz: %d cases in %v, %d clean, %d failures\n",
+		rep.Cases, rep.Elapsed.Round(time.Second), rep.Clean, len(rep.Failures))
+	for _, f := range rep.Failures {
+		fmt.Printf("  [%s] %s\n", f.Class, f.Detail)
+		fmt.Printf("    shrunk: procs=%d tx=%d ops=%d lines=%d (in %d runs)\n",
+			f.Shrunk.Procs, f.Shrunk.TxPerProc, f.Shrunk.OpsPerTx, f.Shrunk.Lines, f.ShrinkRuns)
+		if f.TapePath != "" {
+			fmt.Printf("    tape: %s\n", f.TapePath)
+		}
+	}
+	if len(rep.Failures) > 0 {
+		os.Exit(1)
+	}
+}
+
+// replayTapes replays every tape matching the file-or-glob pattern and
+// returns the process exit code.
+func replayTapes(pattern string) int {
+	paths, err := filepath.Glob(pattern)
+	if err != nil {
+		fatal(err)
+	}
+	if len(paths) == 0 {
+		// Not a glob match: treat as a literal path so a missing file errors
+		// clearly instead of silently replaying nothing.
+		paths = []string{pattern}
+	}
+	code := 0
+	for _, p := range paths {
+		if err := fuzz.ReplayTape(p); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", p, err)
+			code = 1
+			continue
+		}
+		fmt.Printf("ok   %s\n", p)
+	}
+	return code
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tccfuzz: %v\n", err)
+	os.Exit(1)
+}

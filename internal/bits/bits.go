@@ -92,6 +92,16 @@ func (s *NodeSet) Empty() bool {
 	return true
 }
 
+// Max returns the largest member, or -1 for an empty set.
+func (s *NodeSet) Max() int {
+	for wi := len(s.w) - 1; wi >= 0; wi-- {
+		if s.w[wi] != 0 {
+			return wi<<6 + 63 - bits.LeadingZeros64(s.w[wi])
+		}
+	}
+	return -1
+}
+
 // ForEach calls fn for every member in ascending order.
 func (s *NodeSet) ForEach(fn func(i int)) {
 	for wi, w := range s.w {
@@ -188,6 +198,16 @@ func (v *BitVec) LeadingOnes() int {
 		}
 	}
 	return n
+}
+
+// MaxSet returns the index of the highest set bit, or -1 if none is set.
+func (v *BitVec) MaxSet() int {
+	for wi := len(v.w) - 1; wi >= 0; wi-- {
+		if v.w[wi] != 0 {
+			return wi<<6 + 63 - bits.LeadingZeros64(v.w[wi])
+		}
+	}
+	return -1
 }
 
 // PopCount returns the number of set bits.

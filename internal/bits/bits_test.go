@@ -212,3 +212,39 @@ func TestBitVecLeadingOnesLong(t *testing.T) {
 		t.Fatal("Reset incomplete")
 	}
 }
+
+func TestNodeSetMax(t *testing.T) {
+	var s NodeSet
+	if s.Max() != -1 {
+		t.Fatalf("empty set Max = %d, want -1", s.Max())
+	}
+	s.Set(3)
+	s.Set(70)
+	if s.Max() != 70 {
+		t.Fatalf("Max = %d, want 70", s.Max())
+	}
+	s.Clear(70)
+	if s.Max() != 3 {
+		t.Fatalf("Max = %d, want 3", s.Max())
+	}
+}
+
+func TestBitVecMaxSet(t *testing.T) {
+	var v BitVec
+	if v.MaxSet() != -1 {
+		t.Fatalf("empty vec MaxSet = %d, want -1", v.MaxSet())
+	}
+	v.Set(0)
+	v.Set(129)
+	if v.MaxSet() != 129 {
+		t.Fatalf("MaxSet = %d, want 129", v.MaxSet())
+	}
+	v.ShiftOutLow(1)
+	if v.MaxSet() != 128 {
+		t.Fatalf("after shift MaxSet = %d, want 128", v.MaxSet())
+	}
+	v.Reset()
+	if v.MaxSet() != -1 {
+		t.Fatalf("after Reset MaxSet = %d, want -1", v.MaxSet())
+	}
+}

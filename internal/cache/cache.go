@@ -424,6 +424,66 @@ func (c *Cache) commitTx(tid mem.Version, writeThrough bool) []Victim {
 	return spillOut
 }
 
+// Audit scans every resident line for violated structural invariants and
+// returns a descriptive error for the first one found (nil means the cache
+// is consistent). With atBoundary set, the scan runs the commit-boundary
+// rules as well: a transaction just finalized, so no line may carry
+// speculative state and the tracking list must be drained — a line that
+// kept SR/SM bits here escaped CommitTx/RollbackTx and would silently skip
+// conflict detection (a "spec leak"). It is a debugging aid, not a hot-path
+// operation: the continuous invariant auditor calls it at transaction
+// boundaries when enabled.
+func (c *Cache) Audit(atBoundary bool) error {
+	check := func(l *Line, overflowLine bool) error {
+		if len(l.Data) != c.geom.WordsPerLine() {
+			return fmt.Errorf("cache: line %#x data length %d, want %d words", l.Base, len(l.Data), c.geom.WordsPerLine())
+		}
+		if l.SM&^l.VW != 0 {
+			return fmt.Errorf("cache: line %#x has SM words %#x outside valid words %#x", l.Base, uint64(l.SM), uint64(l.VW))
+		}
+		if l.Dirty && l.SM.Any() {
+			return fmt.Errorf("cache: line %#x dirty with uncommitted SM words %#x (dirty-bit rule violated)", l.Base, uint64(l.SM))
+		}
+		if l.Dirty != l.OW.Any() {
+			return fmt.Errorf("cache: line %#x dirty=%v but owned words %#x", l.Base, l.Dirty, uint64(l.OW))
+		}
+		if overflowLine {
+			if l.idx != -1 {
+				return fmt.Errorf("cache: overflow line %#x carries main-array slot %d", l.Base, l.idx)
+			}
+		} else if l.Speculative() && !l.tracked {
+			return fmt.Errorf("cache: line %#x speculative (SR %#x SM %#x) but untracked — commit/rollback would miss it",
+				l.Base, uint64(l.SR), uint64(l.SM))
+		}
+		if atBoundary && l.Speculative() {
+			return fmt.Errorf("cache: spec leak — line %#x kept SR %#x SM %#x past a transaction boundary",
+				l.Base, uint64(l.SR), uint64(l.SM))
+		}
+		return nil
+	}
+	for i := range c.lines {
+		if !c.lines[i].Valid {
+			continue
+		}
+		if err := check(&c.lines[i], false); err != nil {
+			return err
+		}
+	}
+	for _, base := range c.overflowKeys() {
+		if err := check(c.overflow[base], true); err != nil {
+			return err
+		}
+	}
+	if atBoundary {
+		for _, l := range c.spec {
+			if l.tracked {
+				return fmt.Errorf("cache: tracking list not drained at transaction boundary (line %#x)", l.Base)
+			}
+		}
+	}
+	return nil
+}
+
 // SpeculativeLines returns how many resident lines carry SR or SM state.
 func (c *Cache) SpeculativeLines() int {
 	n := 0

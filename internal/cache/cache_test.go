@@ -378,3 +378,53 @@ func TestBadShapesPanic(t *testing.T) {
 		}()
 	}
 }
+
+func TestAuditCleanCache(t *testing.T) {
+	c := small()
+	l, _ := c.Insert(0x100, line0(1))
+	l.SR = l.SR.Set(2)
+	c.Track(l)
+	if err := c.Audit(false); err != nil {
+		t.Fatalf("clean mid-transaction cache failed audit: %v", err)
+	}
+	c.CommitTx(7)
+	if err := c.Audit(true); err != nil {
+		t.Fatalf("clean post-commit cache failed audit: %v", err)
+	}
+}
+
+func TestAuditCatchesUntrackedSpeculativeLine(t *testing.T) {
+	c := small()
+	l, _ := c.Insert(0x100, line0(1))
+	l.SM = l.SM.Set(0) // speculative write without Track: a spec leak in waiting
+	if err := c.Audit(false); err == nil {
+		t.Fatal("untracked speculative line passed audit")
+	}
+}
+
+func TestAuditCatchesSpecLeakAtBoundary(t *testing.T) {
+	c := small()
+	l, _ := c.Insert(0x100, line0(1))
+	l.SR = l.SR.Set(1)
+	c.Track(l)
+	// Sabotage: clear the tracked flag so CommitTx skips the line.
+	l.tracked = false
+	c.CommitTx(9)
+	if err := c.Audit(true); err == nil {
+		t.Fatal("SR bits surviving a commit boundary passed audit")
+	}
+}
+
+func TestAuditCatchesDirtyOwnedMismatch(t *testing.T) {
+	c := small()
+	l, _ := c.Insert(0x100, line0(1))
+	l.Dirty = true // dirty with no owned words
+	if err := c.Audit(false); err == nil {
+		t.Fatal("dirty/OW mismatch passed audit")
+	}
+	l.Dirty = false
+	l.OW = l.OW.Set(3) // owned words on a clean line
+	if err := c.Audit(false); err == nil {
+		t.Fatal("OW on clean line passed audit")
+	}
+}

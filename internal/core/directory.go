@@ -238,6 +238,10 @@ func (d *Directory) HandleEvent(code uint32, a1, a2 uint64) {
 	case dirExec:
 		i := int32(a1)
 		d.exec(&d.sys.msgs[i])
+		if d.sys.aud != nil {
+			// Re-take the pointer: exec may have grown the slab.
+			d.sys.aud.onDirExec(d, &d.sys.msgs[i])
+		}
 		d.sys.freeMsg(i)
 	case dirMemReady:
 		d.sys.sendMsg(int32(a1))
@@ -299,6 +303,9 @@ func (d *Directory) noteDone(t tid.TID) {
 	}
 	d.done.Set(int(t - d.nstid))
 	d.tryAdvance()
+	if d.sys.aud != nil {
+		d.sys.aud.onDirAccount(d)
+	}
 }
 
 func (d *Directory) tryAdvance() {

@@ -71,6 +71,9 @@ func (s *System) newMsg(kind MsgKind, src, dst int) (int32, *protoMsg) {
 	}
 	m := &s.msgs[i]
 	*m = protoMsg{kind: kind, src: int32(src), dst: int32(dst)}
+	if s.aud != nil {
+		s.aud.onMsgAlloc(i)
+	}
 	return i, m
 }
 
@@ -84,6 +87,9 @@ func (s *System) freeMsg(i int32) {
 		m.data = nil
 	}
 	s.msgFree = append(s.msgFree, i)
+	if s.aud != nil {
+		s.aud.onMsgFree(i)
+	}
 }
 
 // sendMsg routes message i through the mesh to its destination node, where
@@ -96,6 +102,9 @@ func (s *System) sendMsg(i int32) {
 
 // acquireBuf returns a line-sized version buffer from the pool.
 func (s *System) acquireBuf() []mem.Version {
+	if s.aud != nil {
+		s.aud.onBufAcquire()
+	}
 	if n := len(s.bufFree); n > 0 {
 		b := s.bufFree[n-1]
 		s.bufFree = s.bufFree[:n-1]
@@ -105,7 +114,12 @@ func (s *System) acquireBuf() []mem.Version {
 }
 
 // releaseBuf returns a buffer to the pool.
-func (s *System) releaseBuf(b []mem.Version) { s.bufFree = append(s.bufFree, b) }
+func (s *System) releaseBuf(b []mem.Version) {
+	s.bufFree = append(s.bufFree, b)
+	if s.aud != nil {
+		s.aud.onBufRelease()
+	}
+}
 
 // copyLine snapshots src into a pooled buffer.
 func (s *System) copyLine(src []mem.Version) []mem.Version {

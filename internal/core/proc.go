@@ -402,9 +402,8 @@ func (p *Processor) onLoadResp(base mem.Addr, data []mem.Version) {
 // fillLine installs or merges arriving line data. Merging never overwrites
 // locally-valid or SM words. Filling a word the current transaction
 // speculatively read means the original copy was invalidated after the read;
-// if the incoming version (the writer's TID) is logically earlier than this
-// transaction, the read is stale and the transaction violates — fillLine
-// then returns nil.
+// if the word's version changed at all, the read may be stale and the
+// transaction violates — fillLine then returns nil.
 func (p *Processor) fillLine(base mem.Addr, data []mem.Version) *cache.Line {
 	g := p.sys.cfg.Geometry
 	line := p.cache.Peek(base)
@@ -423,7 +422,14 @@ func (p *Processor) fillLine(base mem.Addr, data []mem.Version) *cache.Line {
 		// stayed locally valid or were later overwritten by SM stores.
 		if line.SR.Has(w) {
 			read, _ := p.readSet.Get(g.WordAddr(base, w))
-			if data[w] != read && (p.tid == tid.None || data[w] < mem.Version(p.tid)) {
+			// Any version change since the read is a (conservative)
+			// violation. A version above this transaction's own TID is NOT
+			// proof of safety: memory versions only grow, so a later
+			// committer can mask an intermediate conflicting write that
+			// happened while this processor was off the sharers list and
+			// received no invalidation for it. Only an unchanged version
+			// proves no committed write intervened.
+			if data[w] != read {
 				violated = true
 				conflictVersion = data[w]
 			}
@@ -781,6 +787,9 @@ func (p *Processor) doCommit() {
 		}
 	}
 	p.sys.vendorRetire(t)
+	if p.sys.aud != nil {
+		p.sys.aud.onTxBoundary(p)
+	}
 
 	now := p.sys.kernel.Now()
 	var instr uint64
@@ -928,6 +937,9 @@ func (p *Processor) violateOn(cause mem.Addr, committer tid.TID) {
 	p.stats.Breakdown.Add(stats.Violation, uint64(now-p.txStart))
 	p.epoch++
 	p.cache.RollbackTx()
+	if p.sys.aud != nil {
+		p.sys.aud.onTxBoundary(p)
+	}
 	p.phase = phRunning
 	if !p.keepTID {
 		p.tid = tid.None

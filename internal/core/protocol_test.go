@@ -53,6 +53,7 @@ func runScript(t *testing.T, s *scriptProgram, mutate func(*Config)) (*System, *
 		t.Fatal(err)
 	}
 	sys.CollectCommitLog(true)
+	sys.EnableAuditor()
 	res, err := sys.Run()
 	if err != nil {
 		t.Fatal(err)

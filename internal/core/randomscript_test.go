@@ -84,6 +84,7 @@ func TestRandomScriptGauntlet(t *testing.T) {
 					t.Fatal(err)
 				}
 				sys.CollectCommitLog(true)
+				sys.EnableAuditor()
 				res, err := sys.Run()
 				if err != nil {
 					t.Fatalf("seed %d: %v", seed, err)

@@ -22,6 +22,7 @@ func runProfile(t *testing.T, prof workload.Profile, procs int, mutate func(*Con
 		t.Fatalf("NewSystem: %v", err)
 	}
 	sys.CollectCommitLog(true)
+	sys.EnableAuditor()
 	res, err := sys.Run()
 	if err != nil {
 		t.Fatalf("Run(%s, %d procs): %v", prof.Name, procs, err)

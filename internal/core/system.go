@@ -48,6 +48,10 @@ type System struct {
 	// observer pays nothing on the hot path.
 	obsv obs.Observer
 
+	// aud, when non-nil, re-checks protocol invariants continuously at the
+	// state-transition hooks (see auditor.go). Same nil-gated idiom as obsv.
+	aud *Auditor
+
 	// Periodic time-series sampler (EnableSampler).
 	sampleEvery  sim.Time
 	prevDirBusy  uint64
@@ -386,6 +390,9 @@ func (s *System) Run() (*Results, error) {
 				s.kernel.Now(), s.running)
 		}
 		s.kernel.StepCycle()
+		if s.aud != nil && s.aud.err != nil {
+			return nil, s.aud.err
+		}
 	}
 	if s.running != 0 {
 		return nil, fmt.Errorf("core: deadlock — event queue drained with %d processors unfinished\n%s",
@@ -393,6 +400,11 @@ func (s *System) Run() (*Results, error) {
 	}
 	if n := s.vendor.Outstanding(); n != 0 {
 		return nil, fmt.Errorf("core: %d TIDs issued but never retired", n)
+	}
+	if s.aud != nil {
+		if err := s.aud.final(); err != nil {
+			return nil, err
+		}
 	}
 	s.endTime = s.kernel.Now()
 	return s.results(), nil

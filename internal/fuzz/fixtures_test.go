@@ -1,0 +1,27 @@
+package fuzz
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// Every checked-in repro tape must replay to its recorded class. Fixtures
+// come from fuzz campaigns (shrunken reproducers of fixed bugs, kept as
+// regression guards) and from hand-written adversarial baselines.
+func TestCheckedInFixtures(t *testing.T) {
+	paths, err := filepath.Glob("../../testdata/fuzz/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no fixtures found under testdata/fuzz")
+	}
+	for _, p := range paths {
+		p := p
+		t.Run(filepath.Base(p), func(t *testing.T) {
+			if err := ReplayTape(p); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,122 @@
+package tape
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Repro is a deterministic reproducer tape: everything needed to replay one
+// failing (or deliberately clean) simulation and check that it still behaves
+// the same way. The payload is an opaque JSON case owned by whoever recorded
+// the tape (the fuzzer stores its Case struct there); this package only
+// defines the envelope, so replay tooling can validate and route tapes
+// without importing the producer.
+type Repro struct {
+	Schema  string `json:"schema"`  // always ReproSchema
+	Version int    `json:"version"` // always ReproVersion
+	Kind    string `json:"kind"`    // producer tag, e.g. "fuzz-case"
+	Name    string `json:"name"`    // human-readable case name
+	Failure string `json:"failure"` // failure class observed when recorded ("" = recorded clean)
+	Expect  string `json:"expect"`  // class a replay must reproduce ("" = must run clean)
+	Detail  string `json:"detail,omitempty"`
+
+	Case json.RawMessage `json:"case"`
+}
+
+// Envelope constants.
+const (
+	ReproSchema  = "scalabletcc/repro"
+	ReproVersion = 1
+)
+
+// NewRepro wraps a payload value into a versioned envelope.
+func NewRepro(kind, name string, payload any) (*Repro, error) {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("tape: encoding repro payload: %w", err)
+	}
+	return &Repro{
+		Schema:  ReproSchema,
+		Version: ReproVersion,
+		Kind:    kind,
+		Name:    name,
+		Case:    raw,
+	}, nil
+}
+
+// Validate rejects tapes this code cannot faithfully replay.
+func (r *Repro) Validate() error {
+	if r.Schema != ReproSchema {
+		return fmt.Errorf("tape: schema %q, want %q", r.Schema, ReproSchema)
+	}
+	if r.Version != ReproVersion {
+		return fmt.Errorf("tape: repro version %d, want %d", r.Version, ReproVersion)
+	}
+	if len(r.Case) == 0 {
+		return fmt.Errorf("tape: repro %q carries no case payload", r.Name)
+	}
+	return nil
+}
+
+// Payload decodes the opaque case into the producer's type.
+func (r *Repro) Payload(v any) error {
+	if err := json.Unmarshal(r.Case, v); err != nil {
+		return fmt.Errorf("tape: decoding repro %q payload: %w", r.Name, err)
+	}
+	return nil
+}
+
+// Encode writes the tape as indented JSON.
+func (r *Repro) Encode(w io.Writer) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("tape: encoding repro %q: %w", r.Name, err)
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// Save writes the tape to a file.
+func (r *Repro) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// DecodeRepro reads and validates a tape.
+func DecodeRepro(rd io.Reader) (*Repro, error) {
+	var r Repro
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("tape: decoding repro: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// LoadRepro reads and validates a tape from a file.
+func LoadRepro(path string) (*Repro, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := DecodeRepro(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}

@@ -1,0 +1,73 @@
+package tape
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type fakePayload struct {
+	Seed  uint64 `json:"seed"`
+	Procs int    `json:"procs"`
+}
+
+func TestReproRoundTrip(t *testing.T) {
+	r, err := NewRepro("fuzz-case", "example", fakePayload{Seed: 7, Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Failure = "audit:skip-vector-bounds"
+	r.Expect = "audit:skip-vector-bounds"
+
+	path := filepath.Join(t.TempDir(), "r.json")
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRepro(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != "fuzz-case" || got.Name != "example" || got.Expect != r.Expect {
+		t.Fatalf("envelope mangled: %+v", got)
+	}
+	var p fakePayload
+	if err := got.Payload(&p); err != nil {
+		t.Fatal(err)
+	}
+	if p != (fakePayload{Seed: 7, Procs: 4}) {
+		t.Fatalf("payload mangled: %+v", p)
+	}
+}
+
+func TestReproValidateRejects(t *testing.T) {
+	good, err := NewRepro("fuzz-case", "x", fakePayload{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mutate := range map[string]func(*Repro){
+		"wrong-schema":  func(r *Repro) { r.Schema = "other/thing" },
+		"wrong-version": func(r *Repro) { r.Version = 99 },
+		"empty-case":    func(r *Repro) { r.Case = nil },
+	} {
+		r := *good
+		mutate(&r)
+		if r.Validate() == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestDecodeReproRejectsGarbage(t *testing.T) {
+	if _, err := DecodeRepro(strings.NewReader("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	var buf bytes.Buffer
+	r, _ := NewRepro("k", "n", fakePayload{})
+	if err := r.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeRepro(&buf); err != nil {
+		t.Fatalf("valid tape rejected: %v", err)
+	}
+}

@@ -27,8 +27,38 @@ type Record struct {
 	Writes map[mem.Addr]mem.Version // word addr -> version produced (== TID)
 }
 
-// Violation describes one serializability failure.
+// Kind classifies a violation: the three distinct ways a commit log can
+// fail the oracle.
+type Kind int
+
+// Violation kinds.
+const (
+	// ReadMismatch: a committed read did not observe the TID-serial value.
+	ReadMismatch Kind = iota
+	// DuplicateTID: two committed records carry the same TID (the gap-free
+	// TID order requires uniqueness; the duplicate record is not replayed).
+	DuplicateTID
+	// BadWriteVersion: a write's produced version is not the writer's TID.
+	BadWriteVersion
+)
+
+func (k Kind) String() string {
+	switch k {
+	case ReadMismatch:
+		return "read-mismatch"
+	case DuplicateTID:
+		return "duplicate-TID"
+	case BadWriteVersion:
+		return "bad-write-version"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Violation describes one serializability failure. Addr is meaningful for
+// ReadMismatch and BadWriteVersion; a DuplicateTID violation is about the
+// record as a whole, not any address.
 type Violation struct {
+	Kind     Kind
 	TID      tid.TID
 	Proc     int
 	Addr     mem.Addr
@@ -37,14 +67,23 @@ type Violation struct {
 }
 
 func (v Violation) Error() string {
+	switch v.Kind {
+	case DuplicateTID:
+		return fmt.Sprintf("verify: duplicate TID %d (second record from proc %d)", v.TID, v.Proc)
+	case BadWriteVersion:
+		return fmt.Sprintf("verify: T%d (proc %d) wrote %#x with version %d, a write must carry its own TID %d",
+			v.TID, v.Proc, v.Addr, v.Observed, v.Expected)
+	}
 	return fmt.Sprintf("verify: T%d (proc %d) read %#x as version %d, TID-serial order requires %d",
 		v.TID, v.Proc, v.Addr, v.Observed, v.Expected)
 }
 
 // Check replays records in TID order and returns every serializability
 // violation found (nil means the execution was serializable). It also
-// verifies that TIDs are unique and that every write carries its own TID as
-// the produced version.
+// verifies that TIDs are unique — including the degenerate TID 0, which the
+// vendor never issues but a corrupted log could carry — and that every write
+// carries its own TID as the produced version. Violations are reported in a
+// deterministic order (records by TID, addresses ascending within a record).
 func Check(records []Record) []Violation {
 	sorted := append([]Record(nil), records...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].TID < sorted[j].TID })
@@ -52,24 +91,25 @@ func Check(records []Record) []Violation {
 	var out []Violation
 	ideal := make(map[mem.Addr]mem.Version)
 	var prev tid.TID
+	seen := false
 	for _, r := range sorted {
-		if r.TID == prev && r.TID != 0 {
-			out = append(out, Violation{TID: r.TID, Proc: r.Proc, Addr: 0,
-				Observed: mem.Version(r.TID), Expected: 0})
+		if seen && r.TID == prev {
+			out = append(out, Violation{Kind: DuplicateTID, TID: r.TID, Proc: r.Proc})
 			continue
 		}
-		prev = r.TID
-		for a, observed := range r.Reads {
-			if expected := ideal[a]; observed != expected {
+		seen, prev = true, r.TID
+		for _, a := range sortedAddrs(r.Reads) {
+			if observed, expected := r.Reads[a], ideal[a]; observed != expected {
 				out = append(out, Violation{
-					TID: r.TID, Proc: r.Proc, Addr: a,
+					Kind: ReadMismatch, TID: r.TID, Proc: r.Proc, Addr: a,
 					Observed: observed, Expected: expected,
 				})
 			}
 		}
-		for a, v := range r.Writes {
+		for _, a := range sortedAddrs(r.Writes) {
+			v := r.Writes[a]
 			if v != mem.Version(r.TID) {
-				out = append(out, Violation{TID: r.TID, Proc: r.Proc, Addr: a,
+				out = append(out, Violation{Kind: BadWriteVersion, TID: r.TID, Proc: r.Proc, Addr: a,
 					Observed: v, Expected: mem.Version(r.TID)})
 				continue
 			}
@@ -77,6 +117,19 @@ func Check(records []Record) []Violation {
 		}
 	}
 	return out
+}
+
+// sortedAddrs returns m's keys ascending, so replay output is deterministic.
+func sortedAddrs(m map[mem.Addr]mem.Version) []mem.Addr {
+	if len(m) == 0 {
+		return nil
+	}
+	addrs := make([]mem.Addr, 0, len(m))
+	for a := range m {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	return addrs
 }
 
 // FinalMemory returns the word versions the TID-serial execution leaves

@@ -72,15 +72,117 @@ func TestCheckDuplicateTID(t *testing.T) {
 		rec(5, nil, []mem.Addr{0x10}),
 		rec(5, nil, []mem.Addr{0x20}),
 	}
-	if v := Check(recs); len(v) == 0 {
-		t.Fatal("duplicate TID not flagged")
+	v := Check(recs)
+	if len(v) != 1 {
+		t.Fatalf("duplicate TID: want 1 violation, got %v", v)
+	}
+	if v[0].Kind != DuplicateTID || v[0].TID != 5 {
+		t.Fatalf("violation detail wrong: %+v", v[0])
+	}
+	if v[0].Error() == "" {
+		t.Fatal("empty error text")
+	}
+}
+
+// Regression: the old guard compared against a zero-initialized prev TID and
+// exempted TID 0, so two TID-0 records (a corrupted log) passed silently.
+func TestCheckDuplicateTIDZero(t *testing.T) {
+	recs := []Record{
+		rec(0, nil, []mem.Addr{0x10}),
+		rec(0, nil, []mem.Addr{0x20}),
+	}
+	var dups int
+	for _, v := range Check(recs) {
+		if v.Kind == DuplicateTID {
+			dups++
+			if v.TID != 0 {
+				t.Fatalf("duplicate flagged with wrong TID: %+v", v)
+			}
+		}
+	}
+	if dups != 1 {
+		t.Fatalf("two TID-0 records: want 1 duplicate-TID violation, got %d", dups)
+	}
+}
+
+// A single TID-0 record must not be flagged as a duplicate of the oracle's
+// initial state.
+func TestCheckSingleZeroTIDNotDuplicate(t *testing.T) {
+	for _, v := range Check([]Record{rec(0, nil, nil)}) {
+		if v.Kind == DuplicateTID {
+			t.Fatalf("lone TID-0 record flagged as duplicate: %+v", v)
+		}
 	}
 }
 
 func TestCheckWrongWriteVersion(t *testing.T) {
 	r := Record{TID: 4, Writes: map[mem.Addr]mem.Version{0x10: 9}}
-	if v := Check([]Record{r}); len(v) == 0 {
-		t.Fatal("write version != TID not flagged")
+	v := Check([]Record{r})
+	if len(v) != 1 {
+		t.Fatalf("write version != TID: want 1 violation, got %v", v)
+	}
+	if v[0].Kind != BadWriteVersion || v[0].Addr != 0x10 || v[0].Observed != 9 || v[0].Expected != 4 {
+		t.Fatalf("violation detail wrong: %+v", v[0])
+	}
+}
+
+// Kinds are distinguishable: a duplicate record at address 0 is not confused
+// with a genuine read mismatch at address 0.
+func TestCheckKindsDistinguishAddrZero(t *testing.T) {
+	recs := []Record{
+		rec(1, nil, []mem.Addr{0}),
+		rec(2, map[mem.Addr]mem.Version{0: 0}, nil), // stale read of addr 0
+		rec(2, nil, nil),                            // duplicate TID
+	}
+	v := Check(recs)
+	if len(v) != 2 {
+		t.Fatalf("want 2 violations, got %v", v)
+	}
+	kinds := map[Kind]bool{}
+	for _, x := range v {
+		kinds[x.Kind] = true
+	}
+	if !kinds[ReadMismatch] || !kinds[DuplicateTID] {
+		t.Fatalf("kinds not distinguished: %v", v)
+	}
+}
+
+func TestCheckReadMismatchKind(t *testing.T) {
+	recs := []Record{
+		rec(1, nil, []mem.Addr{0x10}),
+		rec(2, map[mem.Addr]mem.Version{0x10: 0}, nil),
+	}
+	v := Check(recs)
+	if len(v) != 1 || v[0].Kind != ReadMismatch {
+		t.Fatalf("want one read-mismatch, got %v", v)
+	}
+	if v[0].Kind.String() != "read-mismatch" {
+		t.Fatalf("Kind.String: %q", v[0].Kind)
+	}
+}
+
+// Violation order is deterministic even though record footprints are maps.
+func TestCheckDeterministicOrder(t *testing.T) {
+	recs := []Record{
+		rec(1, nil, []mem.Addr{0x10, 0x20, 0x30}),
+		rec(2, map[mem.Addr]mem.Version{0x30: 7, 0x10: 7, 0x20: 7}, nil),
+	}
+	first := Check(recs)
+	for i := 0; i < 20; i++ {
+		if got := Check(recs); len(got) != len(first) {
+			t.Fatalf("run %d: %d violations vs %d", i, len(got), len(first))
+		} else {
+			for j := range got {
+				if got[j] != first[j] {
+					t.Fatalf("run %d: order changed at %d: %+v vs %+v", i, j, got[j], first[j])
+				}
+			}
+		}
+	}
+	for j := 1; j < len(first); j++ {
+		if first[j].Addr < first[j-1].Addr {
+			t.Fatalf("violations not address-ordered: %+v", first)
+		}
 	}
 }
 

@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"fmt"
+
+	"scalabletcc/internal/mem"
+	"scalabletcc/internal/sim"
+)
+
+// Chaos programs are the fuzzer's workload half: unlike the calibrated
+// Profiles, they deliberately concentrate traffic into tiny footprints
+// (down to a single hot word), skew the load/store mix to extremes, and
+// optionally home every line at one directory so the NSTID/Skip-Vector
+// machinery there sees maximal pressure. Same determinism contract as every
+// Program: Tx(proc, phase, idx) is a pure function of the seed.
+
+// ChaosSpec parameterizes an adversarial program.
+type ChaosSpec struct {
+	Name       string
+	Procs      int
+	TxPerProc  int
+	OpsPerTx   int
+	Lines      int  // distinct shared lines in the footprint
+	HotWords   int  // >0 restricts all accesses to the first HotWords words (1 = single hot word)
+	LoadPct    int  // percent of ops that are loads
+	StorePct   int  // percent of ops that are stores (rest: compute)
+	MaxCompute int  // compute ops burn 1..MaxCompute cycles
+	SingleHome bool // home every line at node 0 (one overloaded directory)
+	Seed       uint64
+}
+
+// chaosWordsPerLine matches mem.DefaultGeometry (32-byte lines, 4-byte
+// words); chaos addresses are word-aligned offsets into page-spaced lines,
+// so any geometry with lines of at least this many words replays them.
+const chaosWordsPerLine = 8
+
+// chaosStride spaces the footprint one line per page (page size ≤ 64 KiB),
+// so per-line homing decisions are per-page homing decisions.
+const chaosStride mem.Addr = 1 << 16
+
+// Chaos builds the adversarial program. Zero-valued knobs get floors that
+// keep the program well-formed (at least one line, one op per transaction).
+func Chaos(sp ChaosSpec) Program {
+	if sp.Procs <= 0 {
+		panic("workload: chaos procs must be positive")
+	}
+	if sp.Lines < 1 {
+		sp.Lines = 1
+	}
+	if sp.HotWords > sp.Lines*chaosWordsPerLine {
+		sp.HotWords = sp.Lines * chaosWordsPerLine
+	}
+	if sp.TxPerProc < 1 {
+		sp.TxPerProc = 1
+	}
+	if sp.OpsPerTx < 1 {
+		sp.OpsPerTx = 1
+	}
+	if sp.MaxCompute < 1 {
+		sp.MaxCompute = 1
+	}
+	if sp.Name == "" {
+		sp.Name = fmt.Sprintf("chaos-%d", sp.Seed)
+	}
+	return &chaosProgram{spec: sp, base: sim.NewRNG(sp.Seed)}
+}
+
+type chaosProgram struct {
+	spec ChaosSpec
+	base *sim.RNG
+}
+
+func (p *chaosProgram) Name() string         { return p.spec.Name }
+func (p *chaosProgram) Procs() int           { return p.spec.Procs }
+func (p *chaosProgram) Phases() int          { return 1 }
+func (p *chaosProgram) TxCount(_, _ int) int { return p.spec.TxPerProc }
+func (p *chaosProgram) lineAddr(l int) mem.Addr {
+	return sharedBase + mem.Addr(l)*chaosStride
+}
+
+// words returns the number of distinct addressable words in the footprint.
+func (p *chaosProgram) words() int {
+	if p.spec.HotWords > 0 {
+		return p.spec.HotWords
+	}
+	return p.spec.Lines * chaosWordsPerLine
+}
+
+func (p *chaosProgram) wordAddr(w int) mem.Addr {
+	return p.lineAddr(w/chaosWordsPerLine) + mem.Addr(w%chaosWordsPerLine)*4
+}
+
+func (p *chaosProgram) Tx(proc, phase, idx int) Tx {
+	sp := &p.spec
+	rng := p.base.Derive(0xC4A05, uint64(proc), uint64(phase), uint64(idx))
+	nwords := p.words()
+	ops := make([]Op, 0, sp.OpsPerTx)
+	for i := 0; i < sp.OpsPerTx; i++ {
+		switch r := rng.Intn(100); {
+		case r < sp.LoadPct:
+			ops = append(ops, Op{Kind: Load, Addr: p.wordAddr(rng.Intn(nwords))})
+		case r < sp.LoadPct+sp.StorePct:
+			ops = append(ops, Op{Kind: Store, Addr: p.wordAddr(rng.Intn(nwords))})
+		default:
+			ops = append(ops, Op{Kind: Compute, Cycles: uint32(1 + rng.Intn(sp.MaxCompute))})
+		}
+	}
+	return Tx{Ops: ops}
+}
+
+// PreMap homes each line's page round-robin across nodes, or all at node 0
+// when SingleHome concentrates the protocol load on one directory.
+func (p *chaosProgram) PreMap(m *mem.Map) {
+	g := m.Geometry()
+	for l := 0; l < p.spec.Lines; l++ {
+		home := 0
+		if !p.spec.SingleHome {
+			home = l % m.Nodes()
+		}
+		m.Home(g.Page(p.lineAddr(l)), home)
+	}
+}

@@ -34,16 +34,40 @@ LINE = re.compile(
 
 
 def load_baselines():
+    """Load recorded baselines, failing loudly on anything unexpected.
+
+    BENCH_wheel.json is the primary baseline and REQUIRED: silently skipping
+    a missing or malformed file would turn the gate into a no-op that
+    reports every benchmark as "informational" and passes. Only
+    BENCH_hotpath.json (a superseded earlier baseline) is optional, and even
+    it must parse if present.
+    """
     base = {}
-    for name in ("BENCH_hotpath.json", "BENCH_wheel.json"):  # wheel wins
+    for name, required in (("BENCH_hotpath.json", False), ("BENCH_wheel.json", True)):
         path = os.path.join(REPO, name)
         if not os.path.exists(path):
+            if required:
+                sys.exit(
+                    f"bench_gate: required baseline {name} is missing at {path} — "
+                    "the gate cannot run without it (regenerate it or restore it "
+                    "from version control)"
+                )
             continue
-        with open(path) as f:
-            after = json.load(f).get("after", {})
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            sys.exit(f"bench_gate: baseline {name} is unreadable or malformed: {e}")
+        after = doc.get("after")
+        if not isinstance(after, dict):
+            sys.exit(f"bench_gate: baseline {name} has no 'after' block — malformed baseline")
+        loaded = 0
         for bench, rec in after.items():
             if isinstance(rec, dict) and "ns_op" in rec:
                 base[bench] = (float(rec["ns_op"]), name)
+                loaded += 1
+        if required and loaded == 0:
+            sys.exit(f"bench_gate: baseline {name} contains no usable benchmark records")
     return base
 
 
