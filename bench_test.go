@@ -175,6 +175,33 @@ func BenchmarkBaselineVsScalable(b *testing.B) {
 	}
 }
 
+// BenchmarkProtocols times each registry machine model on the contended
+// hotspot workload through the unified RunProtocol API — one sub-benchmark
+// per protocol, so the bench gate can hold per-protocol baselines. Simulated
+// cycles and violations ride along as custom metrics: a simulator speedup
+// that changes either moved behaviour, not just time.
+func BenchmarkProtocols(b *testing.B) {
+	for _, info := range tcc.Protocols() {
+		b.Run(info.Name, func(b *testing.B) {
+			cfg := tcc.DefaultConfig(8)
+			cfg.Seed = 1
+			prog := tcc.MustProfile("hotspot").Scale(0.25).Build(cfg.Procs, cfg.Seed)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var last *tcc.ProtocolResults
+			for i := 0; i < b.N; i++ {
+				res, err := tcc.RunProtocol(info.Name, cfg, prog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.Summary.Cycles), "sim-cycles")
+			b.ReportMetric(float64(last.Summary.Violations), "violations")
+		})
+	}
+}
+
 // BenchmarkGranularity regenerates the A2 ablation: word- vs line-level
 // conflict detection under false sharing.
 func BenchmarkGranularity(b *testing.B) {

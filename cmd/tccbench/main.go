@@ -10,8 +10,12 @@
 //	tccbench -exp fig7 -parallel 8 -json -out BENCH_sweep.json
 //	tccbench -exp all -verify
 //
-// Experiments: table1 table2 table3 fig6 fig7 fig8 fig9 baseline
+// Experiments: table1 table2 table3 fig6 fig7 fig8 fig9 protocols baseline
 // granularity probes writeback dircache all
+//
+// The protocols experiment runs the head-to-head sweep across the protocol
+// registry (TCC, bus baseline, TL2 STM, eager HTM); -protocol narrows the
+// set, and -protocol list prints the registry.
 //
 // With -json (implied by -out) the run also emits a versioned
 // machine-readable report — one cell per (app, procs, config) simulation —
@@ -30,6 +34,7 @@ import (
 	"strings"
 
 	"scalabletcc/internal/experiments"
+	"scalabletcc/tcc"
 )
 
 func main() {
@@ -41,6 +46,7 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "workload scale factor (0.1 = ten times fewer transactions)")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		verify   = flag.Bool("verify", false, "run the serializability oracle on every run")
+		protos   = flag.String("protocol", "", "comma-separated protocols for the head-to-head sweep (default: full registry; list prints it)")
 		hops     = flag.String("hops", "", "comma-separated cycles/hop for fig8 (default 1,2,4,8)")
 		parallel = flag.Int("parallel", 0, "worker goroutines for independent runs (0 = GOMAXPROCS)")
 		jsonFlag = flag.Bool("json", false, "emit the machine-readable report (JSON)")
@@ -86,6 +92,14 @@ func main() {
 		}()
 	}
 
+	if *protos == "list" {
+		fmt.Println("Registered protocols:")
+		for _, info := range tcc.Protocols() {
+			fmt.Printf("  %-10s %-5s %s\n", info.Name, info.Detection, info.Description)
+		}
+		return
+	}
+
 	opts := experiments.DefaultOptions()
 	opts.Scale = *scale
 	opts.Seed = *seed
@@ -103,6 +117,9 @@ func main() {
 	}
 	if *apps != "" {
 		opts.Apps = strings.Split(*apps, ",")
+	}
+	if *protos != "" {
+		opts.Protocols = strings.Split(*protos, ",")
 	}
 	var err error
 	if opts.Procs, err = parseInts(*procs); err != nil {

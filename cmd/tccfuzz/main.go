@@ -3,10 +3,15 @@
 // invariant auditor. Failures are shrunk to minimal reproducers and written
 // as deterministic repro tapes.
 //
+// Cases rotate over the protocol registry (weighted toward the scalable
+// design); -protocol restricts the rotation, and -protocol list prints the
+// registry.
+//
 // Usage:
 //
 //	tccfuzz -duration 60s -jobs 4 -out fuzz-out
 //	tccfuzz -duration 15m -seed 7 -out artifacts/fuzz
+//	tccfuzz -duration 2m -protocol tl2,eager
 //	tccfuzz -replay testdata/fuzz/fuzz-audit-skip-vector-bounds-15.json
 //	tccfuzz -replay 'testdata/fuzz/*.json'
 //
@@ -19,9 +24,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"scalabletcc/internal/fuzz"
+	"scalabletcc/tcc"
 )
 
 func main() {
@@ -33,10 +40,23 @@ func main() {
 		caseTimeout = flag.Duration("case-timeout", 2*time.Minute, "wall-clock guard per case")
 		shrinkBudg  = flag.Int("shrink-budget", 200, "max simulations spent shrinking one failure")
 		maxFail     = flag.Int("max-failures", 3, "stop after this many failures")
+		protocol    = flag.String("protocol", "", "comma-separated protocols to rotate over (default: weighted mix; list prints the registry)")
 		replay      = flag.String("replay", "", "replay repro tape(s) (file or glob) instead of fuzzing")
 		verbose     = flag.Bool("v", false, "log per-case progress to stderr")
 	)
 	flag.Parse()
+
+	if *protocol == "list" {
+		fmt.Println("Registered protocols:")
+		for _, info := range tcc.Protocols() {
+			fmt.Printf("  %-10s %-5s %s\n", info.Name, info.Detection, info.Description)
+		}
+		return
+	}
+	var protocols []string
+	if *protocol != "" {
+		protocols = strings.Split(*protocol, ",")
+	}
 
 	if *replay != "" {
 		os.Exit(replayTapes(*replay))
@@ -53,6 +73,7 @@ func main() {
 		CaseTimeout:  *caseTimeout,
 		ShrinkBudget: *shrinkBudg,
 		MaxFailures:  *maxFail,
+		Protocols:    protocols,
 		OutDir:       *outDir,
 		Logf:         logf,
 	})
@@ -63,8 +84,12 @@ func main() {
 		rep.Cases, rep.Elapsed.Round(time.Second), rep.Clean, len(rep.Failures))
 	for _, f := range rep.Failures {
 		fmt.Printf("  [%s] %s\n", f.Class, f.Detail)
-		fmt.Printf("    shrunk: procs=%d tx=%d ops=%d lines=%d (in %d runs)\n",
-			f.Shrunk.Procs, f.Shrunk.TxPerProc, f.Shrunk.OpsPerTx, f.Shrunk.Lines, f.ShrinkRuns)
+		proto := f.Shrunk.Protocol
+		if proto == "" {
+			proto = "tcc"
+		}
+		fmt.Printf("    shrunk: protocol=%s procs=%d tx=%d ops=%d lines=%d (in %d runs)\n",
+			proto, f.Shrunk.Procs, f.Shrunk.TxPerProc, f.Shrunk.OpsPerTx, f.Shrunk.Lines, f.ShrinkRuns)
 		if f.TapePath != "" {
 			fmt.Printf("    tape: %s\n", f.TapePath)
 		}

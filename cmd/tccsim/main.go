@@ -24,6 +24,7 @@ func main() {
 	var (
 		app      = flag.String("app", "barnes", "workload profile (see -list)")
 		list     = flag.Bool("list", false, "list available workload profiles and exit")
+		protocol = flag.String("protocol", "tcc", "machine model to run (list prints the registry)")
 		procs    = flag.Int("procs", 16, "processor count")
 		scale    = flag.Float64("scale", 1.0, "workload scale factor")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
@@ -40,6 +41,14 @@ func main() {
 		sample   = flag.Uint64("sample", 0, "with -trace-json: emit a machine-occupancy sample every N cycles")
 	)
 	flag.Parse()
+
+	if *protocol == "list" {
+		fmt.Println("Registered protocols:")
+		for _, info := range tcc.Protocols() {
+			fmt.Printf("  %-10s %-5s %s\n", info.Name, info.Detection, info.Description)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Println("Table 3 applications:")
@@ -99,6 +108,11 @@ func main() {
 	cfg.StarveRetainAfter = *retain
 	cfg.WriteThroughCommit = *wt
 	cfg.CollectCommitLog = *verify
+
+	if *protocol != "tcc" {
+		runRegistryProtocol(*protocol, cfg, prof, jsonObs, *verify)
+		return
+	}
 
 	sys, err := tcc.NewSystem(cfg, prof.Build(*procs, *seed))
 	exitOn(err)
@@ -165,6 +179,43 @@ func main() {
 	}
 	if *verify {
 		reportVerify(len(tcc.Verify(res)))
+	}
+}
+
+// runRegistryProtocol runs a non-default protocol through the unified
+// registry API and prints the shared digest plus model-specific counters.
+func runRegistryProtocol(name string, cfg tcc.Config, prof tcc.Profile, jsonObs *tcc.JSONLObserver, verify bool) {
+	sys, err := tcc.NewSystemFor(name, cfg, prof.Build(cfg.Procs, cfg.Seed))
+	exitOn(err)
+	if jsonObs != nil {
+		sys.Observe(jsonObs)
+	}
+	res, err := sys.Run()
+	exitOn(err)
+	exitOn(flushJSONL(jsonObs))
+
+	info, _ := tcc.ProtocolByNameErr(name)
+	fmt.Printf("%s (%s detection): %s on %d procs\n", name, info.Detection, prof.Name, cfg.Procs)
+	fmt.Printf("  cycles        %d\n", res.Summary.Cycles)
+	fmt.Printf("  commits       %d, violations %d, committed instr %d\n",
+		res.Summary.Commits, res.Summary.Violations, res.Summary.Instructions)
+	printBreakdown(res.Summary.Breakdown)
+	switch {
+	case res.TL2 != nil:
+		fmt.Printf("  version clock %d reads, %d advances (node 0 round trips)\n",
+			res.TL2.ClockReads, res.TL2.ClockAdvances)
+		fmt.Printf("  traffic       %d bytes over the mesh\n", res.TL2.Traffic.TotalBytes())
+	case res.Eager != nil:
+		fmt.Printf("  NACK aborts   %d on read, %d on write (requester loses)\n",
+			res.Eager.NacksRead, res.Eager.NacksWrite)
+		fmt.Printf("  traffic       %d bytes over the mesh\n", res.Eager.Traffic.TotalBytes())
+	case res.Baseline != nil:
+		fmt.Printf("  bus           %d bytes, busy %d cycles (%.1f%%)\n",
+			res.Baseline.BusBytes, res.Baseline.BusBusy,
+			100*float64(res.Baseline.BusBusy)/float64(res.Baseline.Cycles))
+	}
+	if verify {
+		reportVerify(len(res.Verify()))
 	}
 }
 

@@ -1,0 +1,135 @@
+package scalabletcc
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scalabletcc/tcc"
+)
+
+// The rival-protocol golden fixture pins the TL2 STM and eager HTM the same
+// way testdata/golden.json pins the scalable and baseline machines: cycle
+// counts, aggregate statistics, and a hash over the full typed event stream.
+// These cells run through the unified registry constructor, so they also pin
+// the Config translation NewSystemFor performs for each model.
+//
+// Regenerate with:
+//
+//	go test -run TestGoldenProtocolFixture -update .
+const goldenProtocolsPath = "testdata/golden_protocols.json"
+
+// goldenProtoCell is the recorded fingerprint of one registry-protocol run.
+type goldenProtoCell struct {
+	Name       string  `json:"name"`
+	Protocol   string  `json:"protocol"`
+	App        string  `json:"app"`
+	Procs      int     `json:"procs"`
+	Scale      float64 `json:"scale"`
+	Seed       uint64  `json:"seed"`
+	Cycles     uint64  `json:"cycles"`
+	Commits    uint64  `json:"commits"`
+	Violations uint64  `json:"violations"`
+	Instr      uint64  `json:"instr"`
+	Bytes      uint64  `json:"bytes"` // total mesh bytes
+	Events     uint64  `json:"events"`
+	EventHash  string  `json:"event_hash"` // FNV-1a 64 over the rendered stream
+}
+
+// runGoldenProtoCell executes one canonical run through NewSystemFor and
+// fills in the measured half of the cell.
+func runGoldenProtoCell(t *testing.T, c goldenProtoCell) goldenProtoCell {
+	t.Helper()
+	cfg := tcc.DefaultConfig(c.Procs)
+	cfg.Seed = c.Seed
+	prog := tcc.MustProfile(c.App).Scale(c.Scale).Build(c.Procs, c.Seed)
+	sys, err := tcc.NewSystemFor(c.Protocol, cfg, prog)
+	if err != nil {
+		t.Fatalf("%s: %v", c.Name, err)
+	}
+	eh := newEventHasher()
+	sys.Observe(eh.observer())
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", c.Name, err)
+	}
+	c.Cycles = res.Summary.Cycles
+	c.Commits = res.Summary.Commits
+	c.Violations = res.Summary.Violations
+	c.Instr = res.Summary.Instructions
+	switch {
+	case res.TL2 != nil:
+		c.Bytes = res.TL2.Traffic.TotalBytes()
+	case res.Eager != nil:
+		c.Bytes = res.Eager.Traffic.TotalBytes()
+	default:
+		t.Fatalf("%s: result carries no %s detail", c.Name, c.Protocol)
+	}
+	c.Events = eh.n
+	c.EventHash = eh.sum()
+	return c
+}
+
+// goldenProtocolConfigs are the canonical rival-protocol runs: a contended
+// hotspot run per model (the workload where lazy-vs-eager detection
+// diverges most) and a locality-heavy barnes run per model.
+func goldenProtocolConfigs() []goldenProtoCell {
+	return []goldenProtoCell{
+		{Name: "tl2-hotspot-4p", Protocol: "tl2", App: "hotspot", Procs: 4, Scale: 0.1, Seed: 2},
+		{Name: "tl2-barnes-8p", Protocol: "tl2", App: "barnes", Procs: 8, Scale: 0.05, Seed: 1},
+		{Name: "eager-hotspot-4p", Protocol: "eager", App: "hotspot", Procs: 4, Scale: 0.1, Seed: 2},
+		{Name: "eager-barnes-8p", Protocol: "eager", App: "barnes", Procs: 8, Scale: 0.05, Seed: 1},
+	}
+}
+
+func TestGoldenProtocolFixture(t *testing.T) {
+	var got []goldenProtoCell
+	for _, c := range goldenProtocolConfigs() {
+		got = append(got, runGoldenProtoCell(t, c))
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenProtocolsPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenProtocolsPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", goldenProtocolsPath)
+		return
+	}
+
+	buf, err := os.ReadFile(goldenProtocolsPath)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update to create): %v", err)
+	}
+	var want []goldenProtoCell
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("fixture has %d cells, run produced %d (regenerate with -update)", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Errorf("golden cell %s diverged:\n  want %+v\n  got  %+v", want[i].Name, want[i], got[i])
+		}
+	}
+}
+
+// TestGoldenProtocolReplayStable: the rival models' determinism must not
+// depend on process-lifetime state either.
+func TestGoldenProtocolReplayStable(t *testing.T) {
+	for _, c := range []goldenProtoCell{goldenProtocolConfigs()[0], goldenProtocolConfigs()[2]} {
+		a := runGoldenProtoCell(t, c)
+		b := runGoldenProtoCell(t, c)
+		if a.EventHash != b.EventHash || a.Cycles != b.Cycles {
+			t.Fatalf("same-seed replay diverged: %+v vs %+v", a, b)
+		}
+	}
+}

@@ -14,6 +14,7 @@ package baseline
 
 import (
 	"fmt"
+	"sort"
 
 	"scalabletcc/internal/mem"
 	"scalabletcc/internal/obs"
@@ -67,10 +68,10 @@ func DefaultConfig(procs int) Config {
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	if c.Procs <= 0 {
-		return fmt.Errorf("baseline: Procs must be positive")
+		return fmt.Errorf("baseline: Config.Procs must be positive, got %d", c.Procs)
 	}
 	if c.BusBytesPerCycle <= 0 {
-		return fmt.Errorf("baseline: BusBytesPerCycle must be positive")
+		return fmt.Errorf("baseline: Config.BusBytesPerCycle must be positive, got %d", c.BusBytesPerCycle)
 	}
 	return c.Geometry.Validate()
 }
@@ -99,6 +100,7 @@ func (r *Results) Speedup(base *Results) float64 {
 // design (the tcc.Summarizer interface).
 func (r *Results) Summary() stats.Summary {
 	return stats.Summary{
+		Protocol:     "baseline",
 		Cycles:       uint64(r.Cycles),
 		Instructions: r.Instr,
 		Commits:      r.Commits,
@@ -257,4 +259,28 @@ func (s *System) Run() (*Results, error) {
 		r.Breakdown = r.Breakdown.Plus(p.breakdown)
 	}
 	return r, nil
+}
+
+// AuditFinalMemory cross-checks memory against the TID-serial replay of the
+// commit log (bus commits write through, so every committed word must be in
+// the memory banks). Requires CollectCommitLog.
+func (s *System) AuditFinalMemory() error {
+	if !s.collectLog {
+		return fmt.Errorf("baseline: AuditFinalMemory requires CollectCommitLog")
+	}
+	ideal := verify.FinalMemory(s.commitLog)
+	addrs := make([]mem.Addr, 0, len(ideal))
+	for a := range ideal {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	g := s.cfg.Geometry
+	for _, a := range addrs {
+		got := s.memory.Line(g.Line(a))[g.WordIndex(a)]
+		if got != ideal[a] {
+			return fmt.Errorf("baseline: final memory mismatch at %#x: memory has version %d, replay requires %d",
+				uint64(a), uint64(got), uint64(ideal[a]))
+		}
+	}
+	return nil
 }

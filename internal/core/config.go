@@ -105,20 +105,22 @@ func DefaultConfig(procs int) Config {
 // Validate checks the configuration invariants.
 func (c Config) Validate() error {
 	if c.Procs <= 0 {
-		return fmt.Errorf("core: Procs must be positive, got %d", c.Procs)
+		return fmt.Errorf("tcc: Config.Procs must be positive, got %d", c.Procs)
 	}
 	if err := c.Geometry.Validate(); err != nil {
 		return err
 	}
 	if c.Mesh.Width*c.Mesh.Height < c.Procs {
-		return fmt.Errorf("core: mesh %dx%d smaller than %d procs",
+		return fmt.Errorf("tcc: Config.Mesh %dx%d smaller than %d procs",
 			c.Mesh.Width, c.Mesh.Height, c.Procs)
 	}
 	if c.L1Size < c.Geometry.LineSize || c.L2Size < c.Geometry.LineSize {
-		return fmt.Errorf("core: cache smaller than one line")
+		return fmt.Errorf("tcc: Config.L1Size/L2Size smaller than one %d-byte line, got %d/%d",
+			c.Geometry.LineSize, c.L1Size, c.L2Size)
 	}
 	if !c.DeferredProbes && c.ReprobeDelay == 0 {
-		return fmt.Errorf("core: repeated probing requires ReprobeDelay > 0")
+		return fmt.Errorf("tcc: Config.ReprobeDelay must be positive with repeated probing, got %d",
+			c.ReprobeDelay)
 	}
 	return nil
 }

@@ -346,6 +346,7 @@ func (r *Results) Speedup(base *Results) float64 {
 // design (the tcc.Summarizer interface).
 func (r *Results) Summary() stats.Summary {
 	return stats.Summary{
+		Protocol:     "tcc",
 		Cycles:       uint64(r.Cycles),
 		Instructions: r.Instr,
 		Commits:      r.Commits,

@@ -1,0 +1,310 @@
+// Package eager models an eager-conflict-detection HTM on the same
+// distributed machine as the scalable TCC design: transactions announce
+// every read and write to the accessed line's home directory at access
+// time, and the directory refuses (NACKs) any request that conflicts with
+// a live transaction — the requester aborts immediately instead of
+// discovering the conflict at commit (the LogTM/UTM school of design, with
+// requester-loses resolution).
+//
+// The directory tracks, per line, the set of registered readers and the
+// single registered writer among in-flight transactions. Registration is
+// strict two-phase: entries are held until the owning transaction commits
+// or aborts, so a registered line's local copy can never be overwritten
+// concurrently — conflict detection lives in the directory, which also
+// means a cache eviction costs only a refetch, never an abort. Commit
+// fetches a sequence number from the TID vendor at node 0, then writes the
+// write-set back home (data tagged with the TID) and releases every
+// registration; because the TID is granted while all registrations are
+// held, real-time commit order equals TID order and runs pass the same
+// serializability and final-memory oracles as the lazy machines.
+//
+// Protocol summary per transaction:
+//
+//	read     first access of a line registers this processor as a reader
+//	         at the home; a registered foreign writer NACKs the request
+//	write    registers this processor as the line's writer; a foreign
+//	         writer or any foreign reader NACKs; data stays buffered
+//	commit   take a TID from the vendor, write the write-set back and
+//	         release every registration (acked), then continue
+//	abort    release registrations, randomized bounded exponential
+//	         backoff, retry
+package eager
+
+import (
+	"fmt"
+	"sort"
+
+	"scalabletcc/internal/mem"
+	"scalabletcc/internal/mesh"
+	"scalabletcc/internal/obs"
+	"scalabletcc/internal/sim"
+	"scalabletcc/internal/stats"
+	"scalabletcc/internal/verify"
+	"scalabletcc/internal/workload"
+)
+
+// Config parameterizes the eager machine. The node parameters match the
+// scalable design so only the protocol differs.
+type Config struct {
+	Procs    int
+	Geometry mem.Geometry
+	Mesh     mesh.Config
+
+	L1Size, L1Ways int
+	L1Latency      sim.Time
+	L2Size, L2Ways int
+	L2Latency      sim.Time
+
+	// DirLatency is the registration-table access latency at a line's home;
+	// MemLatency is charged when a reply must carry line data.
+	DirLatency sim.Time
+	MemLatency sim.Time
+
+	// BackoffBase/BackoffMax bound the randomized exponential backoff an
+	// aborted transaction waits before retrying.
+	BackoffBase sim.Time
+	BackoffMax  sim.Time
+
+	Seed      uint64
+	MaxCycles sim.Time
+}
+
+// DefaultConfig mirrors core.DefaultConfig's node parameters with the
+// eager directory latencies on top.
+func DefaultConfig(procs int) Config {
+	return Config{
+		Procs:       procs,
+		Geometry:    mem.DefaultGeometry(),
+		Mesh:        mesh.DefaultConfig(procs),
+		L1Size:      32 << 10,
+		L1Ways:      4,
+		L1Latency:   1,
+		L2Size:      512 << 10,
+		L2Ways:      8,
+		L2Latency:   6,
+		DirLatency:  10,
+		MemLatency:  100,
+		BackoffBase: 16,
+		BackoffMax:  4096,
+		Seed:        1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Procs <= 0 {
+		return fmt.Errorf("eager: Config.Procs must be positive, got %d", c.Procs)
+	}
+	if c.BackoffBase <= 0 {
+		return fmt.Errorf("eager: Config.BackoffBase must be positive, got %d", c.BackoffBase)
+	}
+	if c.BackoffMax < c.BackoffBase {
+		return fmt.Errorf("eager: Config.BackoffMax must be at least BackoffBase, got %d < %d",
+			c.BackoffMax, c.BackoffBase)
+	}
+	return c.Geometry.Validate()
+}
+
+// Results summarizes an eager run.
+type Results struct {
+	Cycles     sim.Time
+	Breakdown  stats.Breakdown
+	Commits    uint64
+	Violations uint64 // aborted attempts (read and write NACKs)
+	Instr      uint64
+
+	// NacksRead/NacksWrite split the aborts by the request the directory
+	// refused.
+	NacksRead  uint64
+	NacksWrite uint64
+
+	Traffic   mesh.Stats
+	CommitLog []verify.Record
+}
+
+// Summary returns the machine-independent digest (tcc.Summarizer).
+func (r *Results) Summary() stats.Summary {
+	return stats.Summary{
+		Protocol:     "eager",
+		Cycles:       uint64(r.Cycles),
+		Instructions: r.Instr,
+		Commits:      r.Commits,
+		Violations:   r.Violations,
+		Breakdown:    r.Breakdown,
+	}
+}
+
+// lineDir is one line's conflict-tracking state at its home: the version of
+// the last committed writer plus the live reader/writer registrations.
+type lineDir struct {
+	version mem.Version
+	writer  int // registered writing processor, -1 when none
+	readers map[int]struct{}
+}
+
+func (d *lineDir) readersOtherThan(id int) bool {
+	if len(d.readers) == 0 {
+		return false
+	}
+	if len(d.readers) > 1 {
+		return true
+	}
+	_, self := d.readers[id]
+	return !self
+}
+
+// System is the assembled eager machine.
+type System struct {
+	cfg    Config
+	kernel *sim.Kernel
+	net    *mesh.Network
+	prog   workload.Program
+
+	procs  []*proc
+	memmap *mem.Map
+	memory *mem.Memory
+	dirs   []map[mem.Addr]*lineDir
+
+	commitSeq mem.Version // the TID vendor at node 0
+
+	collectLog bool
+	commitLog  []verify.Record
+	obsv       obs.Observer
+
+	barrierCount int
+	running      int
+
+	totalCommits    uint64
+	totalViolations uint64
+	committedInstr  uint64
+	nacksRead       uint64
+	nacksWrite      uint64
+}
+
+// NewSystem builds an eager machine for prog.
+func NewSystem(cfg Config, prog workload.Program) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if prog.Procs() != cfg.Procs {
+		return nil, fmt.Errorf("eager: program built for %d procs, config has %d", prog.Procs(), cfg.Procs)
+	}
+	k := &sim.Kernel{}
+	s := &System{
+		cfg:    cfg,
+		kernel: k,
+		net:    mesh.New(k, cfg.Procs, cfg.Mesh),
+		prog:   prog,
+		memmap: mem.NewMap(cfg.Geometry, cfg.Procs),
+		memory: mem.NewMemory(cfg.Geometry),
+		dirs:   make([]map[mem.Addr]*lineDir, cfg.Procs),
+	}
+	for i := range s.dirs {
+		s.dirs[i] = make(map[mem.Addr]*lineDir)
+	}
+	prog.PreMap(s.memmap)
+	for i := 0; i < cfg.Procs; i++ {
+		s.procs = append(s.procs, newProc(s, i))
+	}
+	return s, nil
+}
+
+// CollectCommitLog enables serializability logging.
+func (s *System) CollectCommitLog(on bool) { s.collectLog = on }
+
+// Observe attaches a protocol-event observer (nil detaches). Must be called
+// before Run; observation is passive.
+func (s *System) Observe(o obs.Observer) { s.obsv = o }
+
+// emit stamps the current cycle on e and hands it to the observer. Callers
+// nil-check s.obsv first.
+func (s *System) emit(e obs.Event) {
+	e.Cycle = uint64(s.kernel.Now())
+	s.obsv.Event(e)
+}
+
+// home returns the line's home node under first-touch mapping.
+func (s *System) home(base mem.Addr, toucher int) int {
+	return s.memmap.Home(base, toucher)
+}
+
+// dir returns (allocating if needed) the line's registration entry at home.
+func (s *System) dir(home int, base mem.Addr) *lineDir {
+	d := s.dirs[home][base]
+	if d == nil {
+		d = &lineDir{writer: -1, readers: make(map[int]struct{})}
+		s.dirs[home][base] = d
+	}
+	return d
+}
+
+// barrier synchronizes phases.
+func (s *System) barrierArrive() {
+	s.barrierCount++
+	if s.barrierCount < s.cfg.Procs {
+		return
+	}
+	s.barrierCount = 0
+	for _, p := range s.procs {
+		pp := p
+		s.kernel.After(1, pp.onBarrierRelease)
+	}
+}
+
+func (s *System) procDone() { s.running-- }
+
+// Run executes the program to completion.
+func (s *System) Run() (*Results, error) {
+	s.running = s.cfg.Procs
+	for _, p := range s.procs {
+		pp := p
+		s.kernel.At(0, pp.start)
+	}
+	for s.kernel.Pending() > 0 {
+		if s.cfg.MaxCycles > 0 && s.kernel.Now() > s.cfg.MaxCycles {
+			return nil, fmt.Errorf("eager: watchdog expired at cycle %d", s.kernel.Now())
+		}
+		s.kernel.StepCycle()
+	}
+	if s.running != 0 {
+		return nil, fmt.Errorf("eager: deadlock with %d processors unfinished", s.running)
+	}
+	r := &Results{
+		Cycles:     s.kernel.Now(),
+		Commits:    s.totalCommits,
+		Violations: s.totalViolations,
+		Instr:      s.committedInstr,
+		NacksRead:  s.nacksRead,
+		NacksWrite: s.nacksWrite,
+		Traffic:    s.net.Stats(),
+		CommitLog:  s.commitLog,
+	}
+	for _, p := range s.procs {
+		r.Breakdown = r.Breakdown.Plus(p.breakdown)
+	}
+	return r, nil
+}
+
+// AuditFinalMemory cross-checks memory against the TID-serial replay of the
+// commit log (commit write-backs are write-through, so every committed word
+// must be in the memory banks). Requires CollectCommitLog.
+func (s *System) AuditFinalMemory() error {
+	if !s.collectLog {
+		return fmt.Errorf("eager: AuditFinalMemory requires CollectCommitLog")
+	}
+	ideal := verify.FinalMemory(s.commitLog)
+	addrs := make([]mem.Addr, 0, len(ideal))
+	for a := range ideal {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	g := s.cfg.Geometry
+	for _, a := range addrs {
+		got := s.memory.Line(g.Line(a))[g.WordIndex(a)]
+		if got != ideal[a] {
+			return fmt.Errorf("eager: final memory mismatch at %#x: memory has version %d, replay requires %d",
+				uint64(a), uint64(got), uint64(ideal[a]))
+		}
+	}
+	return nil
+}

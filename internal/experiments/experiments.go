@@ -35,6 +35,7 @@ const watchdogCycles = 50_000_000_000
 // HopLatencies) mean "the experiment's default set".
 type Options struct {
 	Apps         []string // profile names; empty = experiment-specific default set
+	Protocols    []string // protocol names for the head-to-head sweep; empty = the full registry
 	Procs        []int    // processor counts for sweeps; empty = {1,2,4,8,16,32,64}
 	MaxProcs     int      // machine size for Table 3 / Figures 8, 9 / ablations
 	Scale        float64  // workload scale factor
@@ -100,6 +101,11 @@ func (o *Options) Normalize() error {
 			return fmt.Errorf("experiments: %w", err)
 		}
 	}
+	for _, p := range o.Protocols {
+		if _, err := tcc.ProtocolByNameErr(p); err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+	}
 	if len(o.Procs) == 0 {
 		o.Procs = []int{1, 2, 4, 8, 16, 32, 64}
 	}
@@ -127,6 +133,14 @@ func (o Options) appsOr(def []string) []string {
 	return def
 }
 
+// protocolsOr returns the explicit protocol list or the full registry.
+func (o Options) protocolsOr() []string {
+	if len(o.Protocols) > 0 {
+		return o.Protocols
+	}
+	return tcc.ProtocolNames()
+}
+
 // allAppNames returns the paper's eleven Table 3 applications.
 func allAppNames() []string {
 	var names []string
@@ -152,22 +166,43 @@ type Job struct {
 	// Mutate applies the variation to the scalable machine's config.
 	Mutate func(*tcc.Config)
 
+	// Protocol selects the machine model from the tcc protocol registry
+	// ("tcc", "baseline", "tl2", "eager"); empty runs the scalable design
+	// directly (identical to "tcc").
+	Protocol string
+
 	// Baseline runs the bus-based small-scale TCC design instead of the
-	// scalable machine.
+	// scalable machine, with the historical DefaultBaselineConfig knobs.
+	// Prefer Protocol: "baseline" for new matrices.
 	Baseline bool
 }
 
-// RunResult is one executed Job; exactly one of Results/Baseline is
+// protocol returns the job's effective registry name.
+func (j Job) protocol() string {
+	switch {
+	case j.Protocol != "":
+		return j.Protocol
+	case j.Baseline:
+		return "baseline"
+	}
+	return "tcc"
+}
+
+// RunResult is one executed Job; exactly one of Results/Baseline/Proto is
 // non-nil. Events holds per-kind protocol-event totals when
 // Options.CountEvents is set.
 type RunResult struct {
 	Results  *tcc.Results
 	Baseline *tcc.BaselineResults
+	Proto    *tcc.ProtocolResults
 	Events   map[string]uint64
 }
 
 func (r RunResult) summary() tcc.Summary {
-	if r.Baseline != nil {
+	switch {
+	case r.Proto != nil:
+		return r.Proto.Summary
+	case r.Baseline != nil:
 		return r.Baseline.Summary()
 	}
 	return r.Results.Summary()
@@ -191,6 +226,33 @@ func (o Options) runJob(j Job) (RunResult, error) {
 			return nil
 		}
 		return counter.ByName()
+	}
+	if j.Protocol != "" && j.Protocol != "tcc" {
+		cfg := tcc.DefaultConfig(j.Procs)
+		cfg.Seed = o.Seed
+		cfg.MaxCycles = watchdogCycles
+		cfg.CollectCommitLog = o.Verify
+		if j.Mutate != nil {
+			j.Mutate(&cfg)
+		}
+		sys, err := tcc.NewSystemFor(j.Protocol, cfg, prof.Build(j.Procs, cfg.Seed))
+		if err != nil {
+			return RunResult{}, fmt.Errorf("experiments: %s %s on %d procs: %w", j.Protocol, j.App, j.Procs, err)
+		}
+		if counter != nil {
+			sys.Observe(counter)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			return RunResult{}, fmt.Errorf("experiments: %s %s on %d procs: %w", j.Protocol, j.App, j.Procs, err)
+		}
+		if o.Verify {
+			if viols := res.Verify(); len(viols) != 0 {
+				return RunResult{}, fmt.Errorf("experiments: %s %s on %d procs: %d serializability violations (first: %v)",
+					j.Protocol, j.App, j.Procs, len(viols), viols[0])
+			}
+		}
+		return RunResult{Proto: res, Events: events()}, nil
 	}
 	if j.Baseline {
 		bcfg := tcc.DefaultBaselineConfig(j.Procs)

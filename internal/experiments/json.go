@@ -21,8 +21,10 @@ const (
 	// ReportSchema identifies the document type.
 	ReportSchema = "scalabletcc/bench-sweep"
 	// ReportVersion is bumped whenever a field changes meaning or is
-	// removed; additions keep the version.
-	ReportVersion = 1
+	// removed; additions keep the version. v2 adds the protocol tag to
+	// every cell (the machine field widened from two values to the full
+	// protocol registry, which is a change of meaning).
+	ReportVersion = 2
 )
 
 // Cell is the machine-readable record of one simulation.
@@ -30,9 +32,13 @@ type Cell struct {
 	Experiment string `json:"experiment"`
 	App        string `json:"app"`
 	Procs      int    `json:"procs"`
-	// Machine is "scalable" (the paper's design) or "baseline" (the
-	// bus-based small-scale TCC).
+	// Machine is "scalable" (the paper's design), "baseline" (the bus-based
+	// small-scale TCC), or a registry protocol name ("tl2", "eager").
 	Machine string `json:"machine"`
+	// Protocol is the registry name of the machine model ("tcc",
+	// "baseline", "tl2", "eager"). v1 documents lack it; DecodeReport
+	// fills it from Machine.
+	Protocol string `json:"protocol"`
 	// Config holds the experiment's knob settings for this cell (for
 	// example {"hop_latency": 4}); absent means the default machine.
 	Config map[string]any `json:"config,omitempty"`
@@ -75,14 +81,15 @@ func (r *Recorder) add(experiment string, jobs []Job, outs []RunResult) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	base := make(map[string]uint64) // (app, machine) -> base cycles
+	base := make(map[string]uint64) // (app, protocol) -> base cycles
 	for i, j := range jobs {
 		s := outs[i].summary()
-		machine := "scalable"
-		if j.Baseline {
-			machine = "baseline"
+		protocol := j.protocol()
+		machine := protocol
+		if protocol == "tcc" {
+			machine = "scalable"
 		}
-		key := j.App + "\x00" + machine
+		key := j.App + "\x00" + protocol
 		b, ok := base[key]
 		if !ok {
 			base[key] = s.Cycles
@@ -93,6 +100,7 @@ func (r *Recorder) add(experiment string, jobs []Job, outs []RunResult) {
 			App:        j.App,
 			Procs:      j.Procs,
 			Machine:    machine,
+			Protocol:   protocol,
 			Config:     j.Knobs,
 			Summary:    s,
 			Events:     outs[i].Events,
@@ -108,6 +116,29 @@ func (r *Recorder) add(experiment string, jobs []Job, outs []RunResult) {
 				SharedBytes:    res.Traffic.BytesByClass[mesh.ClassShared],
 				TotalBytes:     res.Traffic.TotalBytes(),
 				BytesPerInstr:  res.BytesPerInstr(),
+			}
+		} else if pr := outs[i].Proto; pr != nil {
+			var ms *mesh.Stats
+			switch {
+			case pr.Scalable != nil:
+				ms = &pr.Scalable.Traffic
+			case pr.TL2 != nil:
+				ms = &pr.TL2.Traffic
+			case pr.Eager != nil:
+				ms = &pr.Eager.Traffic
+			}
+			if ms != nil {
+				t := &Traffic{
+					CommitBytes:    ms.BytesByClass[mesh.ClassCommit],
+					MissBytes:      ms.BytesByClass[mesh.ClassMiss],
+					WriteBackBytes: ms.BytesByClass[mesh.ClassWriteBack],
+					SharedBytes:    ms.BytesByClass[mesh.ClassShared],
+					TotalBytes:     ms.TotalBytes(),
+				}
+				if s.Instructions > 0 {
+					t.BytesPerInstr = float64(t.TotalBytes) / float64(s.Instructions)
+				}
+				c.Traffic = t
 			}
 		}
 		r.cells = append(r.cells, c)
@@ -156,4 +187,36 @@ func (rep *Report) Write(w io.Writer) error {
 	data = append(data, '\n')
 	_, err = w.Write(data)
 	return err
+}
+
+// DecodeReport reads a bench-sweep document of any supported version. v1
+// cells predate the protocol tag; their Protocol is derived from Machine
+// ("scalable" was the only non-baseline machine), so downstream consumers
+// can key on Protocol regardless of the document's age.
+func DecodeReport(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("experiments: decode report: %w", err)
+	}
+	if rep.Schema != ReportSchema {
+		return nil, fmt.Errorf("experiments: unexpected schema %q (want %q)", rep.Schema, ReportSchema)
+	}
+	switch rep.Version {
+	case 1:
+		for i := range rep.Cells {
+			if rep.Cells[i].Protocol != "" {
+				continue
+			}
+			if rep.Cells[i].Machine == "baseline" {
+				rep.Cells[i].Protocol = "baseline"
+			} else {
+				rep.Cells[i].Protocol = "tcc"
+			}
+		}
+	case ReportVersion:
+		// current
+	default:
+		return nil, fmt.Errorf("experiments: unsupported report version %d (max %d)", rep.Version, ReportVersion)
+	}
+	return &rep, nil
 }

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"scalabletcc/tcc"
+)
+
+// The head-to-head sweep covers every (protocol, procs) cell, normalizes
+// speedups within each protocol series, and records a protocol-tagged v2
+// report cell per run.
+func TestProtocolSweep(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Scale = 0.05
+	opts.Procs = []int{1, 4}
+	opts.Apps = []string{"hotspot"}
+	opts.Verify = true
+	opts.Record = &Recorder{}
+	cells, err := ProtocolSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tcc.ProtocolNames()
+	if len(cells) != len(want)*len(opts.Procs) {
+		t.Fatalf("sweep produced %d cells, want %d", len(cells), len(want)*len(opts.Procs))
+	}
+	seen := map[string]int{}
+	for _, c := range cells {
+		seen[c.Protocol]++
+		if c.Cycles == 0 || c.Commits == 0 {
+			t.Errorf("%s/%d: empty cell %+v", c.Protocol, c.Procs, c)
+		}
+		if c.Procs == opts.Procs[0] && (c.Speedup < 0.999 || c.Speedup > 1.001) {
+			t.Errorf("%s: series base speedup = %f", c.Protocol, c.Speedup)
+		}
+	}
+	for _, p := range want {
+		if seen[p] != len(opts.Procs) {
+			t.Errorf("protocol %s has %d cells, want %d", p, seen[p], len(opts.Procs))
+		}
+	}
+
+	// The recorder tags every cell with its protocol; the legacy machine
+	// field keeps "scalable" for the paper's design.
+	for _, c := range opts.Record.Cells() {
+		if c.Protocol == "" {
+			t.Errorf("cell without protocol tag: %+v", c)
+		}
+		if c.Protocol == "tcc" && c.Machine != "scalable" {
+			t.Errorf("tcc cell has machine %q", c.Machine)
+		}
+		if c.Protocol != "tcc" && c.Machine != c.Protocol {
+			t.Errorf("%s cell has machine %q", c.Protocol, c.Machine)
+		}
+		if c.Protocol != "baseline" && c.Traffic == nil {
+			t.Errorf("%s cell lacks mesh traffic", c.Protocol)
+		}
+	}
+}
+
+// Unknown protocol names fail at Normalize with the registry listed, before
+// any simulation runs.
+func TestOptionsRejectUnknownProtocol(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Protocols = []string{"occ"}
+	err := opts.Normalize()
+	if err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	for _, name := range tcc.ProtocolNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list registry entry %q", err, name)
+		}
+	}
+}
+
+// The v2 report schema is pinned: these are the exact bytes a consumer of
+// BENCH_protocols.json parses. Field renames or reorderings are breaking
+// changes and must bump ReportVersion.
+func TestReportV2PinnedBytes(t *testing.T) {
+	rep := &Report{
+		Schema:   ReportSchema,
+		Version:  ReportVersion,
+		Seed:     1,
+		Scale:    0.25,
+		Parallel: 2,
+		Cells: []Cell{{
+			Experiment:    "protocols",
+			App:           "hotspot",
+			Procs:         4,
+			Machine:       "tl2",
+			Protocol:      "tl2",
+			SpeedupVsBase: 0.5,
+			Summary:       tcc.Summary{Protocol: "tl2", Cycles: 10, Instructions: 4, Commits: 2, Violations: 1},
+		}},
+	}
+	var b strings.Builder
+	if err := rep.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	const want = `{
+  "schema": "scalabletcc/bench-sweep",
+  "version": 2,
+  "seed": 1,
+  "scale": 0.25,
+  "parallel": 2,
+  "cells": [
+    {
+      "experiment": "protocols",
+      "app": "hotspot",
+      "procs": 4,
+      "machine": "tl2",
+      "protocol": "tl2",
+      "speedup_vs_base": 0.5,
+      "summary": {
+        "v": 1,
+        "protocol": "tl2",
+        "cycles": 10,
+        "instructions": 4,
+        "commits": 2,
+        "violations": 1,
+        "breakdown": {
+          "useful": 0,
+          "cache_miss": 0,
+          "idle": 0,
+          "commit": 0,
+          "violation": 0
+        }
+      }
+    }
+  ]
+}
+`
+	if got := b.String(); got != want {
+		t.Errorf("v2 report bytes changed:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// DecodeReport accepts v1 documents (no protocol tag) and derives Protocol
+// from the old two-value machine field; current documents pass through, and
+// future versions are rejected.
+func TestDecodeReportVersions(t *testing.T) {
+	const v1 = `{
+  "schema": "scalabletcc/bench-sweep",
+  "version": 1,
+  "seed": 1,
+  "scale": 1,
+  "parallel": 1,
+  "cells": [
+    {"experiment": "fig7", "app": "barnes", "procs": 8, "machine": "scalable",
+     "speedup_vs_base": 1, "summary": {"v":1,"cycles":10,"instructions":4,"commits":2,"violations":0,"breakdown":{"useful":1,"cache_miss":0,"idle":0,"commit":0,"violation":0}}},
+    {"experiment": "baseline", "app": "commitbound", "procs": 8, "machine": "baseline",
+     "speedup_vs_base": 1, "summary": {"v":1,"cycles":10,"instructions":4,"commits":2,"violations":0,"breakdown":{"useful":1,"cache_miss":0,"idle":0,"commit":0,"violation":0}}}
+  ]
+}`
+	rep, err := DecodeReport(strings.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cells[0].Protocol != "tcc" || rep.Cells[1].Protocol != "baseline" {
+		t.Errorf("v1 protocols derived as %q, %q", rep.Cells[0].Protocol, rep.Cells[1].Protocol)
+	}
+
+	v2 := strings.Replace(v1, `"version": 1`, `"version": 2`, 1)
+	if _, err := DecodeReport(strings.NewReader(v2)); err != nil {
+		t.Errorf("current version rejected: %v", err)
+	}
+
+	v9 := strings.Replace(v1, `"version": 1`, `"version": 9`, 1)
+	if _, err := DecodeReport(strings.NewReader(v9)); err == nil {
+		t.Error("future version accepted")
+	}
+
+	bad := strings.Replace(v1, ReportSchema, "other/schema", 1)
+	if _, err := DecodeReport(strings.NewReader(bad)); err == nil {
+		t.Error("foreign schema accepted")
+	}
+}

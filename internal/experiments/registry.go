@@ -74,6 +74,14 @@ func Registry() []Experiment {
 			PrintFig9(w, rows)
 			return nil
 		}},
+		{"protocols", "protocol head-to-head: TCC vs baseline vs TL2 vs eager", func(o Options, w io.Writer) error {
+			cells, err := ProtocolSweep(o)
+			if err != nil {
+				return err
+			}
+			PrintProtocolSweep(w, cells)
+			return nil
+		}},
 		{"baseline", "bus-serialized commit vs parallel commit (A1)", func(o Options, w io.Writer) error {
 			cells, err := BaselineComparison(o)
 			if err != nil {

@@ -10,6 +10,7 @@ import (
 	"scalabletcc/internal/harness"
 	"scalabletcc/internal/sim"
 	"scalabletcc/internal/tape"
+	"scalabletcc/tcc"
 )
 
 // Options configures a fuzz campaign.
@@ -30,6 +31,10 @@ type Options struct {
 	// MaxFailures stops the campaign after this many distinct failures have
 	// been shrunk and taped. 0 = 3.
 	MaxFailures int
+
+	// Protocols restricts the machine-model rotation to the named registry
+	// protocols. Empty = the generator's default weighted mix.
+	Protocols []string
 
 	// OutDir receives one repro tape per failure. "" = no tapes written.
 	OutDir string
@@ -88,6 +93,11 @@ func Campaign(opts Options) (*Report, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	for _, p := range opts.Protocols {
+		if _, err := tcc.ProtocolByNameErr(p); err != nil {
+			return nil, fmt.Errorf("fuzz: %w", err)
+		}
+	}
 	if opts.OutDir != "" {
 		if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
 			return nil, fmt.Errorf("fuzz: creating tape dir: %w", err)
@@ -108,7 +118,7 @@ func Campaign(opts Options) (*Report, error) {
 		cases := make([]Case, n)
 		batchRNG := rng.Derive(0xBA7C4, uint64(batch))
 		for i := range cases {
-			cases[i] = Gen(batchRNG)
+			cases[i] = Gen(batchRNG, opts.Protocols...)
 		}
 		// Jobs classify internally and never return an error: one bad case
 		// must not discard its batch.

@@ -18,6 +18,7 @@ import (
 	"scalabletcc/internal/sim"
 	"scalabletcc/internal/verify"
 	"scalabletcc/internal/workload"
+	"scalabletcc/tcc"
 )
 
 // Case is one fuzz input: a full machine configuration plus workload knobs,
@@ -25,6 +26,11 @@ import (
 type Case struct {
 	Name string `json:"name,omitempty"`
 	Seed uint64 `json:"seed"`
+
+	// Protocol selects the machine model from the tcc protocol registry.
+	// Empty means "tcc" (the scalable design), so pre-rotation repro tapes
+	// replay unchanged.
+	Protocol string `json:"protocol,omitempty"`
 
 	// Machine.
 	Procs             int  `json:"procs"`
@@ -66,6 +72,15 @@ const FaultSkipVector = "skip-vector"
 // reported as class "watchdog".
 const maxCaseCycles = 500_000_000
 
+// protocol resolves the case's machine model, defaulting to the scalable
+// design.
+func (c *Case) protocol() string {
+	if c.Protocol == "" {
+		return "tcc"
+	}
+	return c.Protocol
+}
+
 // Config materializes the machine half of the case.
 func (c *Case) Config() core.Config {
 	cfg := core.DefaultConfig(c.Procs)
@@ -84,6 +99,29 @@ func (c *Case) Config() core.Config {
 	cfg.StarveRetainAfter = c.StarveRetainAfter
 	cfg.Seed = c.Seed
 	cfg.MaxCycles = maxCaseCycles
+	return cfg
+}
+
+// ProtoConfig materializes the machine half of the case as the unified
+// tcc.Config used for non-tcc protocols. The registry derives a near-square
+// mesh from Procs, so the case's degenerate-chain mesh fields do not apply;
+// every other knob a model honors maps directly.
+func (c *Case) ProtoConfig() tcc.Config {
+	cfg := tcc.DefaultConfig(c.Procs)
+	cfg.Torus = c.Torus
+	if c.HopLatency > 0 {
+		cfg.HopLatency = c.HopLatency
+	}
+	cfg.L1Size = c.L1Bytes
+	cfg.L2Size = c.L2Bytes
+	cfg.DirCacheEntries = c.DirCacheEntries
+	cfg.LineGranularity = c.LineGranularity
+	cfg.WriteThroughCommit = c.WriteThrough
+	cfg.RepeatedProbing = c.RepeatedProbes
+	cfg.StarveRetainAfter = c.StarveRetainAfter
+	cfg.Seed = c.Seed
+	cfg.MaxCycles = maxCaseCycles
+	cfg.CollectCommitLog = true
 	return cfg
 }
 
@@ -122,6 +160,12 @@ func (c *Case) Validate() error {
 	if c.Fault != "" && c.FaultDir >= c.Procs {
 		return fmt.Errorf("fuzz: fault dir %d out of range (%d procs)", c.FaultDir, c.Procs)
 	}
+	if _, err := tcc.ProtocolByNameErr(c.protocol()); err != nil {
+		return fmt.Errorf("fuzz: %w", err)
+	}
+	if c.Fault != "" && c.protocol() != "tcc" {
+		return fmt.Errorf("fuzz: fault injection is tcc-only, case targets %q", c.protocol())
+	}
 	return c.Config().Validate()
 }
 
@@ -145,6 +189,9 @@ func Run(c *Case) (err error) {
 			err = &panicError{val: r}
 		}
 	}()
+	if p := c.protocol(); p != "tcc" {
+		return runProtocol(c, p)
+	}
 	sys, err := core.NewSystem(c.Config(), c.Program())
 	if err != nil {
 		return fmt.Errorf("fuzz: building system: %w", err)
@@ -167,6 +214,25 @@ func Run(c *Case) (err error) {
 		}
 	}
 	return nil
+}
+
+// runProtocol runs a non-tcc case through the unified protocol registry and
+// applies the same end-of-run oracles. The continuous auditor and fault
+// injection are core-machine instruments; the rival models are checked by
+// the protocol-independent oracles alone.
+func runProtocol(c *Case, protocol string) error {
+	sys, err := tcc.NewSystemFor(protocol, c.ProtoConfig(), c.Program())
+	if err != nil {
+		return fmt.Errorf("fuzz: building %s system: %w", protocol, err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		return err
+	}
+	if viols := verify.Check(res.CommitLog); len(viols) != 0 {
+		return fmt.Errorf("fuzz: %w (first of %d)", viols[0], len(viols))
+	}
+	return sys.AuditFinalMemory()
 }
 
 // Class maps a Run outcome to a stable failure-class string. Shrinking and

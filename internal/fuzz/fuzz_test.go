@@ -38,6 +38,56 @@ func TestGenCoversExtremes(t *testing.T) {
 	}
 }
 
+// The default rotation reaches every registered protocol, and a restricted
+// rotation stays inside its menu.
+func TestGenRotatesProtocols(t *testing.T) {
+	rng := sim.NewRNG(13)
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		seen[Gen(rng).Protocol] = true
+	}
+	for _, want := range []string{"tcc", "baseline", "tl2", "eager"} {
+		if !seen[want] {
+			t.Errorf("default rotation never drew %q (saw %v)", want, seen)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if c := Gen(rng, "tl2"); c.Protocol != "tl2" {
+			t.Fatalf("restricted rotation drew %q", c.Protocol)
+		}
+	}
+}
+
+// Every rival protocol survives the same adversarial case under the
+// end-of-run oracles (serializability, final memory).
+func TestRunCleanAcrossProtocols(t *testing.T) {
+	for _, proto := range []string{"baseline", "tl2", "eager"} {
+		t.Run(proto, func(t *testing.T) {
+			c := smallCase(17)
+			c.Protocol = proto
+			if err := Run(&c); err != nil {
+				t.Fatalf("[%s] %v", Class(err), err)
+			}
+		})
+	}
+}
+
+// Case validation polices the protocol field: unknown names are rejected
+// with the registry listed, and fault injection stays tcc-only.
+func TestValidateProtocolField(t *testing.T) {
+	c := smallCase(19)
+	c.Protocol = "occ"
+	if err := c.Validate(); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	c = smallCase(19)
+	c.Protocol = "tl2"
+	c.Fault = FaultSkipVector
+	if err := c.Validate(); err == nil {
+		t.Fatal("fault injection on a rival protocol accepted")
+	}
+}
+
 // smallCase is a quick-running adversarial case used across the tests.
 func smallCase(seed uint64) Case {
 	return Case{

@@ -23,12 +23,29 @@ var l2Menu = []int{256, 512, 1024, 2048, 2048, 4096, 8192, 32768, 512 << 10}
 // l1Menu: power-of-two L1 sizes (4-way).
 var l1Menu = []int{512, 512, 1024, 2048, 8192, 32 << 10}
 
+// protocolMix is the default machine-model rotation: half the cases exercise
+// the paper's scalable design (the only model with the continuous auditor
+// and fault injection), the rest spread over the rival protocols so their
+// oracles see adversarial traffic too.
+var protocolMix = []string{
+	"tcc", "tcc", "tcc", "tcc", "tcc",
+	"tl2", "tl2",
+	"eager", "eager",
+	"baseline",
+}
+
 // Gen draws one adversarial case. Cases are always valid (Validate passes);
-// the drawn seed also seeds the case's config and workload.
-func Gen(rng *sim.RNG) Case {
+// the drawn seed also seeds the case's config and workload. protocols, when
+// non-empty, restricts the machine-model rotation (default: protocolMix).
+func Gen(rng *sim.RNG, protocols ...string) Case {
+	menu := protocols
+	if len(menu) == 0 {
+		menu = protocolMix
+	}
 	c := Case{
-		Seed:  rng.Uint64() | 1,
-		Procs: procMenu[rng.Intn(len(procMenu))],
+		Seed:     rng.Uint64() | 1,
+		Protocol: menu[rng.Intn(len(menu))],
+		Procs:    procMenu[rng.Intn(len(procMenu))],
 	}
 	c.Name = fmt.Sprintf("gen-%x", c.Seed)
 

@@ -18,8 +18,11 @@ const SummaryVersion = 1
 
 // Summary is the shared digest of one run: cycle count, committed
 // instruction/transaction counts, violations, and the five-way
-// execution-time breakdown.
+// execution-time breakdown. Protocol names the machine model that produced
+// the run ("tcc", "baseline", "tl2", "eager"); it is omitted from the wire
+// form when empty so pre-protocol v1 bytes are unchanged.
 type Summary struct {
+	Protocol     string
 	Cycles       uint64
 	Instructions uint64
 	Commits      uint64
@@ -27,9 +30,12 @@ type Summary struct {
 	Breakdown    Breakdown
 }
 
-// summaryJSON is the frozen v1 wire form.
+// summaryJSON is the frozen v1 wire form. Protocol was added after the
+// freeze as an omitempty field: summaries without one marshal to the
+// original byte sequence, so this is a compatible extension, not a bump.
 type summaryJSON struct {
 	V            int           `json:"v"`
+	Protocol     string        `json:"protocol,omitempty"`
 	Cycles       uint64        `json:"cycles"`
 	Instructions uint64        `json:"instructions"`
 	Commits      uint64        `json:"commits"`
@@ -51,6 +57,7 @@ type breakdownJSON struct {
 func (s Summary) MarshalJSON() ([]byte, error) {
 	return json.Marshal(summaryJSON{
 		V:            SummaryVersion,
+		Protocol:     s.Protocol,
 		Cycles:       s.Cycles,
 		Instructions: s.Instructions,
 		Commits:      s.Commits,
@@ -63,4 +70,21 @@ func (s Summary) MarshalJSON() ([]byte, error) {
 			Violation: s.Breakdown.Fraction(Violation),
 		},
 	})
+}
+
+// UnmarshalJSON decodes the scalar fields of a v1 summary. The breakdown is
+// serialized as fractions, so the raw cycle counts are not recoverable and
+// Breakdown is left zero.
+func (s *Summary) UnmarshalJSON(b []byte) error {
+	var w summaryJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	s.Protocol = w.Protocol
+	s.Cycles = w.Cycles
+	s.Instructions = w.Instructions
+	s.Commits = w.Commits
+	s.Violations = w.Violations
+	s.Breakdown = Breakdown{}
+	return nil
 }

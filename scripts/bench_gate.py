@@ -3,8 +3,9 @@
 
 Parses `go test -bench` output (one or more files, already -benchmem) and
 compares the best (minimum) ns/op per benchmark against the recorded
-baselines: the `after` block of BENCH_wheel.json where a benchmark appears
-there, falling back to the `after` block of BENCH_hotpath.json. Fails on
+baselines: the `after` block of BENCH_protocols_gate.json (the per-protocol
+simulator baselines), then BENCH_wheel.json, falling back to the `after`
+block of BENCH_hotpath.json. Fails on
 
   * ns/op more than THRESHOLD (default 15%) above the baseline, or
   * any allocation on the zero-alloc hot paths (kernel post/step, mesh send).
@@ -26,24 +27,30 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 THRESHOLD = float(os.environ.get("BENCH_GATE_THRESHOLD", "0.15"))
 ZERO_ALLOC = {"BenchmarkKernelPostStep", "BenchmarkMeshSendEvent"}
 
-# `BenchmarkName-8   123  456 ns/op  ... 0 allocs/op` (suffix and
-# allocs column optional).
+# `BenchmarkName-8   123  456 ns/op  ... 0 allocs/op` (GOMAXPROCS suffix and
+# allocs column optional; sub-benchmark names keep their slash, e.g.
+# `BenchmarkProtocols/tl2-8`).
 LINE = re.compile(
-    r"^(Benchmark\w+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:.*?\s(\d+) allocs/op)?"
+    r"^(Benchmark[\w/]+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:.*?\s(\d+) allocs/op)?"
 )
 
 
 def load_baselines():
     """Load recorded baselines, failing loudly on anything unexpected.
 
-    BENCH_wheel.json is the primary baseline and REQUIRED: silently skipping
-    a missing or malformed file would turn the gate into a no-op that
-    reports every benchmark as "informational" and passes. Only
-    BENCH_hotpath.json (a superseded earlier baseline) is optional, and even
-    it must parse if present.
+    BENCH_wheel.json (kernel/mesh hot paths) and BENCH_protocols_gate.json
+    (per-protocol simulator runs) are REQUIRED: silently skipping a missing
+    or malformed file would turn the gate into a no-op that reports every
+    benchmark as "informational" and passes. Only BENCH_hotpath.json (a
+    superseded earlier baseline) is optional, and even it must parse if
+    present. Later files win where names collide.
     """
     base = {}
-    for name, required in (("BENCH_hotpath.json", False), ("BENCH_wheel.json", True)):
+    for name, required in (
+        ("BENCH_hotpath.json", False),
+        ("BENCH_wheel.json", True),
+        ("BENCH_protocols_gate.json", True),
+    ):
         path = os.path.join(REPO, name)
         if not os.path.exists(path):
             if required:

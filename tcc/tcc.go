@@ -18,8 +18,15 @@
 //
 // Workloads are deterministic transactional programs; the eleven profiles
 // of the paper's Table 3 ship with the package (Profiles), and custom
-// fingerprints can be built with Profile. The BaselineConfig / RunBaseline
-// pair models the original bus-based small-scale TCC for comparison.
+// fingerprints can be built with Profile.
+//
+// Scalable TCC is one of four machine models sharing the simulation stack:
+// the bus-based small-scale TCC baseline, a TL2-style lazy STM, and an
+// eager-detection HTM are registered alongside it (Protocols), and any of
+// them runs through the unified constructor:
+//
+//	res, err := tcc.RunProtocol("tl2", cfg, prog)
+//	fmt.Println(res.Summary.Protocol, res.Summary.Cycles)
 package tcc
 
 import (
@@ -69,6 +76,8 @@ type Summarizer interface {
 var (
 	_ Summarizer = (*Results)(nil)
 	_ Summarizer = (*BaselineResults)(nil)
+	_ Summarizer = (*TL2Results)(nil)
+	_ Summarizer = (*EagerResults)(nil)
 )
 
 // SerializabilityViolation is a failure found by the commit-log oracle.
@@ -444,6 +453,11 @@ type BaselineSystem struct {
 }
 
 // NewBaselineSystem builds a baseline machine running prog under cfg.
+//
+// Deprecated: the baseline is a registry protocol; new code should use
+// NewSystemFor("baseline", cfg, prog), which derives the bus machine from
+// the unified Config. NewBaselineSystem remains for callers that need the
+// bus-specific knobs of BaselineConfig and behaves exactly as before.
 func NewBaselineSystem(cfg BaselineConfig, prog Program) (*BaselineSystem, error) {
 	bc, err := cfg.compile()
 	if err != nil {
@@ -467,6 +481,8 @@ func (s *BaselineSystem) Run() (*BaselineResults, error) { return s.inner.Run() 
 func (s *BaselineSystem) Observe(o Observer) { s.inner.Observe(o) }
 
 // RunBaseline executes prog on the bus-based small-scale TCC design.
+//
+// Deprecated: use RunProtocol("baseline", cfg, prog); see NewBaselineSystem.
 func RunBaseline(cfg BaselineConfig, prog Program) (*BaselineResults, error) {
 	s, err := NewBaselineSystem(cfg, prog)
 	if err != nil {
