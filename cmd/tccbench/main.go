@@ -4,6 +4,11 @@
 // across worker goroutines (-parallel, default GOMAXPROCS); output is
 // byte-identical whatever the worker count.
 //
+// The flags are adapters over the versioned job API: tccbench builds a
+// scalabletcc/job v1 sweep spec and executes it through tcc.RunJob — the
+// same path the tccd daemon uses, where the identical spec additionally
+// checkpoints per cell and resumes across restarts.
+//
 // Usage:
 //
 //	tccbench -exp fig7 -scale 0.25 -procs 1,4,16,64
@@ -24,15 +29,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"strconv"
 	"strings"
+	"time"
 
+	"scalabletcc/internal/cliflag"
 	"scalabletcc/internal/experiments"
 	"scalabletcc/tcc"
 )
@@ -92,126 +98,93 @@ func main() {
 		}()
 	}
 
-	if *protos == "list" {
-		fmt.Println("Registered protocols:")
-		for _, info := range tcc.Protocols() {
-			fmt.Printf("  %-10s %-5s %s\n", info.Name, info.Detection, info.Description)
-		}
+	if *protos == cliflag.ProtocolListArg {
+		cliflag.ListProtocols(os.Stdout)
 		return
-	}
-
-	opts := experiments.DefaultOptions()
-	opts.Scale = *scale
-	opts.Seed = *seed
-	opts.Verify = *verify
-	opts.JobTimeout = *timeout
-	opts.CountEvents = *events
-	if *max > 0 {
-		opts.MaxProcs = *max
 	}
 	if *parallel < 0 {
 		fatal(fmt.Errorf("-parallel %d is invalid (0 = GOMAXPROCS, or a positive worker count)", *parallel))
 	}
-	if *parallel > 0 {
-		opts.Parallel = *parallel
-	}
-	if *apps != "" {
-		opts.Apps = strings.Split(*apps, ",")
-	}
-	if *protos != "" {
-		opts.Protocols = strings.Split(*protos, ",")
-	}
-	var err error
-	if opts.Procs, err = parseInts(*procs); err != nil {
-		fatal(err)
-	}
-	if opts.HopLatencies, err = parseInts(*hops); err != nil {
-		fatal(err)
+	// The wire spec reads a zero scale as "the default"; the CLI's zero is an
+	// explicit (invalid) input, refused with the historical message.
+	if *scale <= 0 {
+		fatal(fmt.Errorf("experiments: Scale %v is invalid (must be > 0)", *scale))
 	}
 
 	wantJSON := *jsonFlag || *outFile != ""
-	var rec *experiments.Recorder
+	wantTables := !(wantJSON && *outFile == "") // stdout carries the JSON document otherwise
+
+	spec := tcc.NewJobSpec(tcc.JobKindSweep)
+	sw := &tcc.SweepSpec{
+		Apps:        cliflag.SplitList(*apps),
+		Protocols:   cliflag.SplitList(*protos),
+		MaxProcs:    *max,
+		Scale:       *scale,
+		Seed:        *seed,
+		Verify:      *verify,
+		CountEvents: *events,
+		Parallel:    *parallel,
+		Tables:      wantTables,
+	}
+	if *exp != "all" {
+		sw.Experiments = []string{*exp}
+	}
+	var err error
+	if sw.Procs, err = cliflag.ParseInts(*procs); err != nil {
+		fatal(err)
+	}
+	if sw.Hops, err = cliflag.ParseInts(*hops); err != nil {
+		fatal(err)
+	}
+	if *timeout > 0 {
+		// The wire spec carries milliseconds; round a sub-millisecond guard
+		// up rather than silently dropping it.
+		sw.TimeoutMS = int64((*timeout + time.Millisecond - 1) / time.Millisecond)
+	}
+	spec.Sweep = sw
+
+	opts := &tcc.RunJobOptions{}
+	if *progress {
+		opts.Progress = progressPrinter()
+	}
+
+	out, err := tcc.RunJob(context.Background(), spec, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if wantTables {
+		fmt.Print(out.Result.Tables)
+	}
+
 	if wantJSON {
-		rec = &experiments.Recorder{}
-		opts.Record = rec
-	}
-	tables := io.Writer(os.Stdout)
-	if wantJSON && *outFile == "" {
-		tables = io.Discard // stdout carries the JSON document
-	}
-
-	run := func(name string) {
-		e, ok := experiments.ByName(name)
-		if !ok {
-			fatal(fmt.Errorf("unknown experiment %q", name))
-		}
-		o := opts
-		if name == "table3" && *max == 0 {
-			o.MaxProcs = 32 // the paper reports Table 3 at 32 CPUs
-		}
-		if *progress {
-			o.Progress = progressPrinter(name)
-		}
-		fmt.Fprintf(tables, "== %s ==\n", name)
-		if err := e.Run(o, tables); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintln(tables)
-	}
-
-	if *exp == "all" {
-		for _, name := range experiments.Names() {
-			run(name)
-		}
-	} else {
-		run(*exp)
-	}
-
-	if wantJSON {
-		rep := rec.Report(opts)
 		if *outFile != "" {
 			f, err := os.Create(*outFile)
 			if err != nil {
 				fatal(err)
 			}
-			if err := rep.Write(f); err != nil {
+			if _, err := f.Write(out.Result.Report); err != nil {
 				f.Close()
 				fatal(err)
 			}
 			if err := f.Close(); err != nil {
 				fatal(err)
 			}
-			fmt.Fprintf(os.Stderr, "tccbench: wrote %d cells to %s\n", len(rep.Cells), *outFile)
-		} else if err := rep.Write(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "tccbench: wrote %d cells to %s\n", out.Result.Cells, *outFile)
+		} else if _, err := os.Stdout.Write(out.Result.Report); err != nil {
 			fatal(err)
 		}
 	}
 }
 
-// progressPrinter returns a harness progress callback that keeps one
-// updating status line per experiment on stderr.
-func progressPrinter(name string) func(done, total int) {
-	return func(done, total int) {
-		fmt.Fprintf(os.Stderr, "\r%s: %d/%d", name, done, total)
+// progressPrinter adapts the job Progress callback to the historical
+// one-updating-status-line-per-experiment format on stderr.
+func progressPrinter() func(stage string, done, total int) {
+	return func(stage string, done, total int) {
+		fmt.Fprintf(os.Stderr, "\r%s: %d/%d", stage, done, total)
 		if done == total {
 			fmt.Fprintln(os.Stderr)
 		}
 	}
-}
-
-func parseInts(s string) ([]int, error) {
-	if s == "" {
-		return nil, nil
-	}
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
-		}
-		out = append(out, v)
-	}
-	return out, nil
 }
 
 func fatal(err error) {

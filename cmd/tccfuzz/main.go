@@ -3,6 +3,11 @@
 // invariant auditor. Failures are shrunk to minimal reproducers and written
 // as deterministic repro tapes.
 //
+// The flags are adapters over the versioned job API: tccfuzz builds a
+// scalabletcc/job v1 fuzz spec and executes it through tcc.RunJob — the
+// same path the tccd daemon uses. Tape replay (-replay) stays a direct
+// call: replaying a deterministic artifact is not a job.
+//
 // Cases rotate over the protocol registry (weighted toward the scalable
 // design); -protocol restricts the rotation, and -protocol list prints the
 // registry.
@@ -20,13 +25,15 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
-	"strings"
 	"time"
 
+	"scalabletcc/internal/cliflag"
 	"scalabletcc/internal/fuzz"
 	"scalabletcc/tcc"
 )
@@ -46,52 +53,67 @@ func main() {
 	)
 	flag.Parse()
 
-	if *protocol == "list" {
-		fmt.Println("Registered protocols:")
-		for _, info := range tcc.Protocols() {
-			fmt.Printf("  %-10s %-5s %s\n", info.Name, info.Detection, info.Description)
-		}
+	if *protocol == cliflag.ProtocolListArg {
+		cliflag.ListProtocols(os.Stdout)
 		return
-	}
-	var protocols []string
-	if *protocol != "" {
-		protocols = strings.Split(*protocol, ",")
 	}
 
 	if *replay != "" {
 		os.Exit(replayTapes(*replay))
 	}
 
-	logf := func(string, ...any) {}
-	if *verbose {
-		logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	spec := tcc.NewJobSpec(tcc.JobKindFuzz)
+	spec.Fuzz = &tcc.FuzzSpec{
+		DurationSec:    int((*duration + time.Second - 1) / time.Second),
+		Seed:           *seed,
+		Jobs:           *jobs,
+		CaseTimeoutSec: int((*caseTimeout + time.Second - 1) / time.Second),
+		ShrinkBudget:   *shrinkBudg,
+		MaxFailures:    *maxFail,
+		Protocols:      cliflag.SplitList(*protocol),
+		OutDir:         *outDir,
 	}
-	rep, err := fuzz.Campaign(fuzz.Options{
-		Duration:     *duration,
-		Seed:         *seed,
-		Jobs:         *jobs,
-		CaseTimeout:  *caseTimeout,
-		ShrinkBudget: *shrinkBudg,
-		MaxFailures:  *maxFail,
-		Protocols:    protocols,
-		OutDir:       *outDir,
-		Logf:         logf,
-	})
+	opts := &tcc.RunJobOptions{}
+	if *verbose {
+		opts.Logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+
+	out, err := tcc.RunJob(context.Background(), spec, opts)
 	if err != nil {
 		fatal(err)
 	}
+	var rep struct {
+		Cases      int     `json:"cases"`
+		Clean      int     `json:"clean"`
+		ElapsedSec float64 `json:"elapsed_sec"`
+		Failures   []struct {
+			Class      string `json:"class"`
+			Detail     string `json:"detail"`
+			Protocol   string `json:"protocol"`
+			Procs      int    `json:"procs"`
+			TxPerProc  int    `json:"tx_per_proc"`
+			OpsPerTx   int    `json:"ops_per_tx"`
+			Lines      int    `json:"lines"`
+			ShrinkRuns int    `json:"shrink_runs"`
+			Tape       string `json:"tape"`
+		} `json:"failures"`
+	}
+	if err := json.Unmarshal(out.Result.Fuzz, &rep); err != nil {
+		fatal(err)
+	}
+	elapsed := time.Duration(rep.ElapsedSec * float64(time.Second)).Round(time.Second)
 	fmt.Printf("tccfuzz: %d cases in %v, %d clean, %d failures\n",
-		rep.Cases, rep.Elapsed.Round(time.Second), rep.Clean, len(rep.Failures))
+		rep.Cases, elapsed, rep.Clean, len(rep.Failures))
 	for _, f := range rep.Failures {
 		fmt.Printf("  [%s] %s\n", f.Class, f.Detail)
-		proto := f.Shrunk.Protocol
+		proto := f.Protocol
 		if proto == "" {
 			proto = "tcc"
 		}
 		fmt.Printf("    shrunk: protocol=%s procs=%d tx=%d ops=%d lines=%d (in %d runs)\n",
-			proto, f.Shrunk.Procs, f.Shrunk.TxPerProc, f.Shrunk.OpsPerTx, f.Shrunk.Lines, f.ShrinkRuns)
-		if f.TapePath != "" {
-			fmt.Printf("    tape: %s\n", f.TapePath)
+			proto, f.Procs, f.TxPerProc, f.OpsPerTx, f.Lines, f.ShrinkRuns)
+		if f.Tape != "" {
+			fmt.Printf("    tape: %s\n", f.Tape)
 		}
 	}
 	if len(rep.Failures) > 0 {

@@ -2,6 +2,11 @@
 // configuration and prints the execution-time breakdown, protocol counters,
 // and traffic decomposition — the single-run view of the simulator.
 //
+// The flags are adapters over the versioned job API: tccsim builds a
+// scalabletcc/job v1 run spec and executes it through tcc.RunJob — the
+// same path the tccd daemon uses — so a CLI run and a daemon job with the
+// same spec and seed produce byte-identical event streams.
+//
 // Usage:
 //
 //	tccsim -app barnes -procs 32
@@ -10,11 +15,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"scalabletcc/internal/cliflag"
 	"scalabletcc/internal/mesh"
 	"scalabletcc/internal/stats"
 	"scalabletcc/tcc"
@@ -42,25 +50,12 @@ func main() {
 	)
 	flag.Parse()
 
-	if *protocol == "list" {
-		fmt.Println("Registered protocols:")
-		for _, info := range tcc.Protocols() {
-			fmt.Printf("  %-10s %-5s %s\n", info.Name, info.Detection, info.Description)
-		}
+	if *protocol == cliflag.ProtocolListArg {
+		cliflag.ListProtocols(os.Stdout)
 		return
 	}
-
 	if *list {
-		fmt.Println("Table 3 applications:")
-		for _, p := range tcc.Profiles() {
-			fmt.Printf("  %-16s tx=%6d instr, rd=%5d words, wr=%4d words, %d phases\n",
-				p.Name, p.TxInstr, p.ReadWords, p.WriteWords, p.NumPhases)
-		}
-		fmt.Println("Stress profiles:")
-		for _, p := range tcc.StressProfiles() {
-			fmt.Printf("  %-16s tx=%6d instr, rd=%5d words, wr=%4d words\n",
-				p.Name, p.TxInstr, p.ReadWords, p.WriteWords)
-		}
+		cliflag.ListProfiles(os.Stdout)
 		return
 	}
 
@@ -69,26 +64,74 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tccsim: %v (try -list)\n", err)
 		os.Exit(1)
 	}
-	prof = prof.Scale(*scale)
 
-	jsonObs, closeJSON := openJSONL(*traceOut)
-	defer closeJSON()
+	sink, closeSink := openSink(*traceOut)
+	defer closeSink()
 
-	if *basel {
+	// An explicit -scale <= 0 historically ran the minimum workload (Profile
+	// scaling clamps at one transaction per phase), but the wire spec reads
+	// zero as "the default 1.0" and refuses negatives; a scale small enough
+	// to hit the same clamp on every profile preserves the old behaviour.
+	effScale := *scale
+	if effScale <= 0 {
+		effScale = 1e-12
+	}
+
+	spec := tcc.NewJobSpec(tcc.JobKindRun)
+	spec.Run = &tcc.RunSpec{
+		App:    *app,
+		Procs:  *procs,
+		Scale:  effScale,
+		Seed:   *seed,
+		Verify: *verify,
+	}
+	opts := &tcc.RunJobOptions{EventWriter: sink}
+
+	scalable := !*basel && *protocol == "tcc"
+	switch {
+	case *basel:
 		if *sample > 0 {
 			exitOn(fmt.Errorf("-sample requires the scalable machine (drop -baseline)"))
 		}
-		cfg := tcc.DefaultBaselineConfig(*procs)
-		cfg.Seed = *seed
-		cfg.CollectCommitLog = *verify
-		sys, err := tcc.NewBaselineSystem(cfg, prof.Build(*procs, *seed))
-		exitOn(err)
-		if jsonObs != nil {
-			sys.Observe(jsonObs)
+		// The bus machine takes only (app, procs, scale, seed, verify): the
+		// mesh knobs below have no bus equivalent, as ever.
+		spec.Run.Protocol = "baseline"
+	default:
+		r := *retain
+		spec.Run.Machine = &tcc.MachineSpec{
+			HopLatency:      *hop,
+			LineGranularity: *gran == "line",
+			StarveRetain:    &r,
+			WriteThrough:    *wt,
 		}
-		res, err := sys.Run()
-		exitOn(err)
-		exitOn(flushJSONL(jsonObs))
+		spec.Run.Protocol = *protocol
+	}
+	if scalable {
+		// -trace, -tape, and -sample apply to the scalable machine only;
+		// registry protocols ignore them, as the pre-job CLI always has.
+		if *trace {
+			opts.Observer = tcc.TraceObserver(func(f string, args ...any) {
+				line := fmt.Sprintf(f, args...)
+				if *traceFor == "" || strings.Contains(line, *traceFor) {
+					fmt.Fprintln(os.Stderr, line)
+				}
+			})
+		}
+		opts.ConflictProfile = *tape
+		if *sample > 0 {
+			if sink == nil {
+				exitOn(fmt.Errorf("-sample requires -trace-json"))
+			}
+			spec.Run.SampleEvery = *sample
+		}
+	}
+
+	out, err := tcc.RunJob(context.Background(), spec, opts)
+	exitOn(err)
+
+	switch {
+	case *basel:
+		res := out.Proto.Baseline
 		fmt.Printf("bus-based TCC: %s on %d procs\n", prof.Name, *procs)
 		fmt.Printf("  cycles      %d\n", res.Cycles)
 		fmt.Printf("  commits     %d, violations %d\n", res.Commits, res.Violations)
@@ -96,106 +139,56 @@ func main() {
 			res.BusBytes, res.BusBusy, 100*float64(res.BusBusy)/float64(res.Cycles))
 		printBreakdown(res.Breakdown)
 		if *verify {
-			reportVerify(len(tcc.VerifyBaseline(res)))
+			reportVerify(out.Result.Violations)
 		}
-		return
-	}
-
-	cfg := tcc.DefaultConfig(*procs)
-	cfg.Seed = *seed
-	cfg.HopLatency = *hop
-	cfg.LineGranularity = *gran == "line"
-	cfg.StarveRetainAfter = *retain
-	cfg.WriteThroughCommit = *wt
-	cfg.CollectCommitLog = *verify
-
-	if *protocol != "tcc" {
-		runRegistryProtocol(*protocol, cfg, prof, jsonObs, *verify)
-		return
-	}
-
-	sys, err := tcc.NewSystem(cfg, prof.Build(*procs, *seed))
-	exitOn(err)
-	var profiler *tcc.ConflictProfiler
-	if *tape {
-		profiler = sys.EnableConflictProfiler()
-	}
-	var observers []tcc.Observer
-	if *trace {
-		observers = append(observers, tcc.TraceObserver(func(f string, args ...any) {
-			line := fmt.Sprintf(f, args...)
-			if *traceFor == "" || strings.Contains(line, *traceFor) {
-				fmt.Fprintln(os.Stderr, line)
+	case !scalable:
+		printRegistry(*protocol, prof, *procs, out, *verify)
+	default:
+		res := out.Proto.Scalable
+		fmt.Printf("Scalable TCC: %s on %d procs (%s granularity)\n", prof.Name, *procs, *gran)
+		fmt.Printf("  cycles        %d\n", res.Cycles)
+		fmt.Printf("  commits       %d, violations %d, committed instr %d\n",
+			res.Commits, res.Violations, res.Instr)
+		printBreakdown(res.Breakdown)
+		fmt.Printf("  tx fingerprint (p90): %d instr, rd %d B, wr %d B, %d dirs/commit\n",
+			res.TxInstrP90, res.RdSetBytesP90, res.WrSetBytesP90, res.DirsPerCommitP90)
+		fmt.Printf("  directories   occupancy p90 %d cycles, working set p90 %d entries\n",
+			res.DirOccupancyP90, res.DirWorkingSetP90)
+		fmt.Printf("  traffic       %.4f B/instr (commit %.4f, miss %.4f, wb %.4f, shared %.4f)\n",
+			res.BytesPerInstr(),
+			res.ClassBytesPerInstr(mesh.ClassCommit),
+			res.ClassBytesPerInstr(mesh.ClassMiss),
+			res.ClassBytesPerInstr(mesh.ClassWriteBack),
+			res.ClassBytesPerInstr(mesh.ClassShared))
+		fmt.Printf("  cache         %d misses, %d evictions, %d spills, %d invalidations\n",
+			res.CacheStats.Misses, res.CacheStats.Evictions, res.CacheStats.Spills,
+			res.CacheStats.Invalidations)
+		fmt.Printf("  protocol      %d stalled loads, %d owner forwards, %d dropped write-backs\n",
+			res.StalledLoads, res.Forwards, res.DroppedWBs)
+		if profiler := out.Profiler; profiler != nil {
+			fmt.Printf("  TAPE          %d violations, %d wasted cycles\n",
+				profiler.TotalViolations(), profiler.WastedCycles())
+			for _, r := range profiler.Top(10) {
+				fmt.Printf("    %s\n", r)
 			}
-		}))
-	}
-	if jsonObs != nil {
-		observers = append(observers, jsonObs)
-	}
-	if len(observers) > 0 {
-		sys.Observe(tcc.TeeObservers(observers...))
-	}
-	if *sample > 0 {
-		if jsonObs == nil {
-			exitOn(fmt.Errorf("-sample requires -trace-json"))
-		}
-		exitOn(sys.EnableSampler(*sample))
-	}
-	res, err := sys.Run()
-	exitOn(err)
-	exitOn(flushJSONL(jsonObs))
-
-	fmt.Printf("Scalable TCC: %s on %d procs (%s granularity)\n", prof.Name, *procs, *gran)
-	fmt.Printf("  cycles        %d\n", res.Cycles)
-	fmt.Printf("  commits       %d, violations %d, committed instr %d\n",
-		res.Commits, res.Violations, res.Instr)
-	printBreakdown(res.Breakdown)
-	fmt.Printf("  tx fingerprint (p90): %d instr, rd %d B, wr %d B, %d dirs/commit\n",
-		res.TxInstrP90, res.RdSetBytesP90, res.WrSetBytesP90, res.DirsPerCommitP90)
-	fmt.Printf("  directories   occupancy p90 %d cycles, working set p90 %d entries\n",
-		res.DirOccupancyP90, res.DirWorkingSetP90)
-	fmt.Printf("  traffic       %.4f B/instr (commit %.4f, miss %.4f, wb %.4f, shared %.4f)\n",
-		res.BytesPerInstr(),
-		res.ClassBytesPerInstr(mesh.ClassCommit),
-		res.ClassBytesPerInstr(mesh.ClassMiss),
-		res.ClassBytesPerInstr(mesh.ClassWriteBack),
-		res.ClassBytesPerInstr(mesh.ClassShared))
-	fmt.Printf("  cache         %d misses, %d evictions, %d spills, %d invalidations\n",
-		res.CacheStats.Misses, res.CacheStats.Evictions, res.CacheStats.Spills,
-		res.CacheStats.Invalidations)
-	fmt.Printf("  protocol      %d stalled loads, %d owner forwards, %d dropped write-backs\n",
-		res.StalledLoads, res.Forwards, res.DroppedWBs)
-	if profiler != nil {
-		fmt.Printf("  TAPE          %d violations, %d wasted cycles\n",
-			profiler.TotalViolations(), profiler.WastedCycles())
-		for _, r := range profiler.Top(10) {
-			fmt.Printf("    %s\n", r)
-		}
-		if starved := profiler.Starved(uint64(*retain)); *retain > 0 && len(starved) > 0 {
-			for _, sr := range starved {
-				fmt.Printf("    starvation: proc %d hit a streak of %d retries\n", sr.Proc, sr.WorstStreak)
+			if starved := profiler.Starved(uint64(*retain)); *retain > 0 && len(starved) > 0 {
+				for _, sr := range starved {
+					fmt.Printf("    starvation: proc %d hit a streak of %d retries\n", sr.Proc, sr.WorstStreak)
+				}
 			}
 		}
-	}
-	if *verify {
-		reportVerify(len(tcc.Verify(res)))
+		if *verify {
+			reportVerify(out.Result.Violations)
+		}
 	}
 }
 
-// runRegistryProtocol runs a non-default protocol through the unified
-// registry API and prints the shared digest plus model-specific counters.
-func runRegistryProtocol(name string, cfg tcc.Config, prof tcc.Profile, jsonObs *tcc.JSONLObserver, verify bool) {
-	sys, err := tcc.NewSystemFor(name, cfg, prof.Build(cfg.Procs, cfg.Seed))
-	exitOn(err)
-	if jsonObs != nil {
-		sys.Observe(jsonObs)
-	}
-	res, err := sys.Run()
-	exitOn(err)
-	exitOn(flushJSONL(jsonObs))
-
+// printRegistry prints a non-default protocol's digest: the shared summary
+// plus model-specific counters.
+func printRegistry(name string, prof tcc.Profile, procs int, out *tcc.JobOutput, verify bool) {
+	res := out.Proto
 	info, _ := tcc.ProtocolByNameErr(name)
-	fmt.Printf("%s (%s detection): %s on %d procs\n", name, info.Detection, prof.Name, cfg.Procs)
+	fmt.Printf("%s (%s detection): %s on %d procs\n", name, info.Detection, prof.Name, procs)
 	fmt.Printf("  cycles        %d\n", res.Summary.Cycles)
 	fmt.Printf("  commits       %d, violations %d, committed instr %d\n",
 		res.Summary.Commits, res.Summary.Violations, res.Summary.Instructions)
@@ -215,29 +208,22 @@ func runRegistryProtocol(name string, cfg tcc.Config, prof tcc.Profile, jsonObs 
 			100*float64(res.Baseline.BusBusy)/float64(res.Baseline.Cycles))
 	}
 	if verify {
-		reportVerify(len(res.Verify()))
+		reportVerify(out.Result.Violations)
 	}
 }
 
-// openJSONL opens the -trace-json sink: nil for "", stdout for "-", a
+// openSink opens the -trace-json sink: nil for "", stdout for "-", a
 // created file otherwise. The returned closer is safe to call always.
-func openJSONL(path string) (*tcc.JSONLObserver, func()) {
+func openSink(path string) (io.Writer, func()) {
 	switch path {
 	case "":
 		return nil, func() {}
 	case "-":
-		return tcc.NewJSONLObserver(os.Stdout), func() {}
+		return os.Stdout, func() {}
 	}
 	f, err := os.Create(path)
 	exitOn(err)
-	return tcc.NewJSONLObserver(f), func() { f.Close() }
-}
-
-func flushJSONL(o *tcc.JSONLObserver) error {
-	if o == nil {
-		return nil
-	}
-	return o.Flush()
+	return f, func() { f.Close() }
 }
 
 func printBreakdown(b stats.Breakdown) {

@@ -1,0 +1,72 @@
+// Package cliflag holds the flag-handling idioms the tcc CLIs share: the
+// "-protocol list" registry listing, comma-separated list parsing, and the
+// workload-profile listing. Extracting them keeps the three binaries (and
+// the daemon) printing byte-identical help blocks instead of drifting
+// copies.
+package cliflag
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"scalabletcc/tcc"
+)
+
+// ProtocolListArg is the sentinel value of a -protocol flag that asks for
+// the registry listing instead of a run.
+const ProtocolListArg = "list"
+
+// ListProtocols prints the protocol registry in the exact block every CLI
+// has always printed for "-protocol list".
+func ListProtocols(w io.Writer) {
+	fmt.Fprintln(w, "Registered protocols:")
+	for _, info := range tcc.Protocols() {
+		fmt.Fprintf(w, "  %-10s %-5s %s\n", info.Name, info.Detection, info.Description)
+	}
+}
+
+// SplitList parses a comma-separated flag value; "" means nil (the
+// caller's default), and elements are whitespace-trimmed.
+func SplitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// ParseInts parses a comma-separated integer list; "" means nil.
+func ParseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ListProfiles prints the workload-profile listing tccsim's -list flag has
+// always produced: the Table 3 applications, then the stress profiles.
+func ListProfiles(w io.Writer) {
+	fmt.Fprintln(w, "Table 3 applications:")
+	for _, p := range tcc.Profiles() {
+		fmt.Fprintf(w, "  %-16s tx=%6d instr, rd=%5d words, wr=%4d words, %d phases\n",
+			p.Name, p.TxInstr, p.ReadWords, p.WriteWords, p.NumPhases)
+	}
+	fmt.Fprintln(w, "Stress profiles:")
+	for _, p := range tcc.StressProfiles() {
+		fmt.Fprintf(w, "  %-16s tx=%6d instr, rd=%5d words, wr=%4d words\n",
+			p.Name, p.TxInstr, p.ReadWords, p.WriteWords)
+	}
+}

@@ -1,0 +1,66 @@
+package cliflag
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"scalabletcc/tcc"
+)
+
+// The registry listing is user-visible CLI output shared by three binaries;
+// pin its shape.
+func TestListProtocolsBlock(t *testing.T) {
+	var buf bytes.Buffer
+	ListProtocols(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if lines[0] != "Registered protocols:" {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if len(lines) != 1+len(tcc.Protocols()) {
+		t.Fatalf("%d lines for %d protocols", len(lines), len(tcc.Protocols()))
+	}
+	for _, ln := range lines[1:] {
+		if !strings.HasPrefix(ln, "  ") {
+			t.Fatalf("entry must be indented: %q", ln)
+		}
+	}
+	if !strings.Contains(buf.String(), "tcc") || !strings.Contains(buf.String(), "tl2") {
+		t.Fatalf("missing registry entries: %s", buf.String())
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	if got := SplitList(""); got != nil {
+		t.Fatalf("empty must be nil, got %v", got)
+	}
+	if got := SplitList("tl2, eager"); !reflect.DeepEqual(got, []string{"tl2", "eager"}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	if got, err := ParseInts(""); err != nil || got != nil {
+		t.Fatalf("empty: %v %v", got, err)
+	}
+	if got, err := ParseInts("1, 4,16"); err != nil || !reflect.DeepEqual(got, []int{1, 4, 16}) {
+		t.Fatalf("got %v %v", got, err)
+	}
+	if _, err := ParseInts("1,x"); err == nil || !strings.Contains(err.Error(), "bad integer list") {
+		t.Fatalf("want parse error, got %v", err)
+	}
+}
+
+func TestListProfilesBlock(t *testing.T) {
+	var buf bytes.Buffer
+	ListProfiles(&buf)
+	out := buf.String()
+	if !strings.HasPrefix(out, "Table 3 applications:\n") ||
+		!strings.Contains(out, "Stress profiles:\n") {
+		t.Fatalf("listing shape: %s", out)
+	}
+	if !strings.Contains(out, "barnes") || !strings.Contains(out, "hotspot") {
+		t.Fatalf("missing profiles: %s", out)
+	}
+}

@@ -38,18 +38,25 @@ type BaselineCell struct {
 // explicit app list it uses the commit-intensity spectrum: commit-bound,
 // volrend (commit-heavy), equake (communication-heavy), SPECjbb (embarrassingly
 // parallel).
-func BaselineComparison(opts Options) ([]BaselineCell, error) {
-	if err := opts.Normalize(); err != nil {
-		return nil, err
-	}
-	apps := opts.appsOr([]string{"commitbound", "volrend", "equake", "SPECjbb2000"})
+func baselineJobs(o Options) ([]Job, error) {
 	var jobs []Job
-	for _, app := range apps {
-		for _, procs := range opts.Procs {
+	for _, app := range o.appsOr([]string{"commitbound", "volrend", "equake", "SPECjbb2000"}) {
+		for _, procs := range o.Procs {
 			jobs = append(jobs,
 				Job{App: app, Procs: procs},
 				Job{App: app, Procs: procs, Baseline: true})
 		}
+	}
+	return jobs, nil
+}
+
+func BaselineComparison(opts Options) ([]BaselineCell, error) {
+	if err := opts.Normalize(); err != nil {
+		return nil, err
+	}
+	jobs, err := baselineJobs(opts)
+	if err != nil {
+		return nil, err
 	}
 	outs, err := opts.runMatrix("baseline", jobs)
 	if err != nil {
@@ -103,21 +110,28 @@ type GranularityRow struct {
 
 // Granularity runs each app at opts.MaxProcs under both granularities. The
 // falseshare stress profile shows the extreme case.
+func granularityJobs(o Options) ([]Job, error) {
+	var jobs []Job
+	for _, app := range o.appsOr([]string{"falseshare", "equake", "water-nsquared", "barnes"}) {
+		jobs = append(jobs,
+			Job{App: app, Procs: o.MaxProcs},
+			Job{
+				App:    app,
+				Procs:  o.MaxProcs,
+				Knobs:  map[string]any{"granularity": "line"},
+				Mutate: func(c *tcc.Config) { c.LineGranularity = true },
+			})
+	}
+	return jobs, nil
+}
+
 func Granularity(opts Options) ([]GranularityRow, error) {
 	if err := opts.Normalize(); err != nil {
 		return nil, err
 	}
-	apps := opts.appsOr([]string{"falseshare", "equake", "water-nsquared", "barnes"})
-	var jobs []Job
-	for _, app := range apps {
-		jobs = append(jobs,
-			Job{App: app, Procs: opts.MaxProcs},
-			Job{
-				App:    app,
-				Procs:  opts.MaxProcs,
-				Knobs:  map[string]any{"granularity": "line"},
-				Mutate: func(c *tcc.Config) { c.LineGranularity = true },
-			})
+	jobs, err := granularityJobs(opts)
+	if err != nil {
+		return nil, err
 	}
 	outs, err := opts.runMatrix("granularity", jobs)
 	if err != nil {
@@ -166,21 +180,28 @@ type ProbeRow struct {
 }
 
 // Probes runs commit-bound workloads under both probe policies.
+func probesJobs(o Options) ([]Job, error) {
+	var jobs []Job
+	for _, app := range o.appsOr([]string{"commitbound", "volrend", "equake"}) {
+		jobs = append(jobs,
+			Job{App: app, Procs: o.MaxProcs},
+			Job{
+				App:    app,
+				Procs:  o.MaxProcs,
+				Knobs:  map[string]any{"probing": "repeated"},
+				Mutate: func(c *tcc.Config) { c.RepeatedProbing = true },
+			})
+	}
+	return jobs, nil
+}
+
 func Probes(opts Options) ([]ProbeRow, error) {
 	if err := opts.Normalize(); err != nil {
 		return nil, err
 	}
-	apps := opts.appsOr([]string{"commitbound", "volrend", "equake"})
-	var jobs []Job
-	for _, app := range apps {
-		jobs = append(jobs,
-			Job{App: app, Procs: opts.MaxProcs},
-			Job{
-				App:    app,
-				Procs:  opts.MaxProcs,
-				Knobs:  map[string]any{"probing": "repeated"},
-				Mutate: func(c *tcc.Config) { c.RepeatedProbing = true },
-			})
+	jobs, err := probesJobs(opts)
+	if err != nil {
+		return nil, err
 	}
 	outs, err := opts.runMatrix("probes", jobs)
 	if err != nil {
@@ -227,21 +248,28 @@ type WriteBackRow struct {
 }
 
 // WriteBack runs each app under both commit data policies.
+func writebackJobs(o Options) ([]Job, error) {
+	var jobs []Job
+	for _, app := range o.appsOr([]string{"swim", "tomcatv", "radix", "barnes"}) {
+		jobs = append(jobs,
+			Job{App: app, Procs: o.MaxProcs},
+			Job{
+				App:    app,
+				Procs:  o.MaxProcs,
+				Knobs:  map[string]any{"commit_data": "write-through"},
+				Mutate: func(c *tcc.Config) { c.WriteThroughCommit = true },
+			})
+	}
+	return jobs, nil
+}
+
 func WriteBack(opts Options) ([]WriteBackRow, error) {
 	if err := opts.Normalize(); err != nil {
 		return nil, err
 	}
-	apps := opts.appsOr([]string{"swim", "tomcatv", "radix", "barnes"})
-	var jobs []Job
-	for _, app := range apps {
-		jobs = append(jobs,
-			Job{App: app, Procs: opts.MaxProcs},
-			Job{
-				App:    app,
-				Procs:  opts.MaxProcs,
-				Knobs:  map[string]any{"commit_data": "write-through"},
-				Mutate: func(c *tcc.Config) { c.WriteThroughCommit = true },
-			})
+	jobs, err := writebackJobs(opts)
+	if err != nil {
+		return nil, err
 	}
 	outs, err := opts.runMatrix("writeback", jobs)
 	if err != nil {
@@ -290,24 +318,35 @@ type DirCacheRow struct {
 // DirCache sweeps directory-cache capacities for apps with small and large
 // directory working sets. The unbounded configuration leads each app's
 // series as the normalization base.
-func DirCache(opts Options) ([]DirCacheRow, error) {
-	if err := opts.Normalize(); err != nil {
-		return nil, err
-	}
-	apps := opts.appsOr([]string{"barnes", "radix", "SPECjbb2000"})
-	capacities := []int{0, 8192, 1024, 128}
+// dirCacheCapacities is the A5 sweep; the unbounded entry leads each series
+// as the normalization base.
+var dirCacheCapacities = []int{0, 8192, 1024, 128}
+
+func dircacheJobs(o Options) ([]Job, error) {
 	var jobs []Job
-	for _, app := range apps {
-		for _, entries := range capacities {
+	for _, app := range o.appsOr([]string{"barnes", "radix", "SPECjbb2000"}) {
+		for _, entries := range dirCacheCapacities {
 			e := entries
 			jobs = append(jobs, Job{
 				App:    app,
-				Procs:  opts.MaxProcs,
+				Procs:  o.MaxProcs,
 				Knobs:  map[string]any{"dir_cache_entries": e},
 				Mutate: func(c *tcc.Config) { c.DirCacheEntries = e },
 			})
 		}
 	}
+	return jobs, nil
+}
+
+func DirCache(opts Options) ([]DirCacheRow, error) {
+	if err := opts.Normalize(); err != nil {
+		return nil, err
+	}
+	jobs, err := dircacheJobs(opts)
+	if err != nil {
+		return nil, err
+	}
+	capacities := dirCacheCapacities
 	outs, err := opts.runMatrix("dircache", jobs)
 	if err != nil {
 		return nil, err

@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -63,6 +64,19 @@ type Options struct {
 	// report's "events" field). Observation is passive; cycle counts are
 	// unchanged.
 	CountEvents bool
+
+	// Ctx, if non-nil, is checked before each simulation starts; a canceled
+	// context fails the matrix with the context's error. In-flight
+	// simulations are not preempted (they are pure compute) — cancellation
+	// takes effect at the next cell boundary.
+	Ctx context.Context
+
+	// OnCell, if non-nil, is called from the worker goroutine the moment one
+	// matrix cell completes successfully, with the experiment name and the
+	// cell's job index. The sweep-job executor uses it to append checkpoint
+	// entries, making each finished cell durable immediately. Implementations
+	// must be safe for concurrent use.
+	OnCell func(experiment string, index int, j Job, out RunResult)
 }
 
 // DefaultOptions returns the paper's evaluation defaults: full-size
@@ -307,7 +321,20 @@ func (o Options) runMatrix(experiment string, jobs []Job) ([]RunResult, error) {
 		Workers:    o.Parallel,
 		Timeout:    o.JobTimeout,
 		OnProgress: o.Progress,
-	}, jobs, func(_ int, j Job) (RunResult, error) { return o.runJob(j) })
+	}, jobs, func(i int, j Job) (RunResult, error) {
+		if o.Ctx != nil {
+			select {
+			case <-o.Ctx.Done():
+				return RunResult{}, o.Ctx.Err()
+			default:
+			}
+		}
+		out, err := o.runJob(j)
+		if err == nil && o.OnCell != nil {
+			o.OnCell(experiment, i, j, out)
+		}
+		return out, err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -371,16 +398,24 @@ type Table3Row struct {
 	OccupancyP90     uint64
 }
 
+// table3Jobs declares the Table 3 matrix; o must be normalized.
+func table3Jobs(o Options) ([]Job, error) {
+	var jobs []Job
+	for _, app := range o.appsOr(allAppNames()) {
+		jobs = append(jobs, Job{App: app, Procs: o.MaxProcs})
+	}
+	return jobs, nil
+}
+
 // Table3 measures each application's fingerprint at opts.MaxProcs (the
 // paper reports the 32-processor case).
 func Table3(opts Options) ([]Table3Row, error) {
 	if err := opts.Normalize(); err != nil {
 		return nil, err
 	}
-	apps := opts.appsOr(allAppNames())
-	var jobs []Job
-	for _, app := range apps {
-		jobs = append(jobs, Job{App: app, Procs: opts.MaxProcs})
+	jobs, err := table3Jobs(opts)
+	if err != nil {
+		return nil, err
 	}
 	outs, err := opts.runMatrix("table3", jobs)
 	if err != nil {
@@ -437,15 +472,23 @@ type Fig6Row struct {
 	CommitFraction float64
 }
 
+// fig6Jobs declares the Figure 6 matrix; o must be normalized.
+func fig6Jobs(o Options) ([]Job, error) {
+	var jobs []Job
+	for _, app := range o.appsOr(allAppNames()) {
+		jobs = append(jobs, Job{App: app, Procs: 1})
+	}
+	return jobs, nil
+}
+
 // Fig6 runs every application on one processor.
 func Fig6(opts Options) ([]Fig6Row, error) {
 	if err := opts.Normalize(); err != nil {
 		return nil, err
 	}
-	apps := opts.appsOr(allAppNames())
-	var jobs []Job
-	for _, app := range apps {
-		jobs = append(jobs, Job{App: app, Procs: 1})
+	jobs, err := fig6Jobs(opts)
+	if err != nil {
+		return nil, err
 	}
 	outs, err := opts.runMatrix("fig6", jobs)
 	if err != nil {
@@ -487,18 +530,26 @@ type Fig7Cell struct {
 	Violations uint64
 }
 
+// fig7Jobs declares the Figure 7 matrix; o must be normalized.
+func fig7Jobs(o Options) ([]Job, error) {
+	var jobs []Job
+	for _, app := range o.appsOr(allAppNames()) {
+		for _, procs := range o.Procs {
+			jobs = append(jobs, Job{App: app, Procs: procs})
+		}
+	}
+	return jobs, nil
+}
+
 // Fig7 sweeps processor counts for every application; each app's first
 // sweep point is its normalization base.
 func Fig7(opts Options) ([]Fig7Cell, error) {
 	if err := opts.Normalize(); err != nil {
 		return nil, err
 	}
-	apps := opts.appsOr(allAppNames())
-	var jobs []Job
-	for _, app := range apps {
-		for _, procs := range opts.Procs {
-			jobs = append(jobs, Job{App: app, Procs: procs})
-		}
+	jobs, err := fig7Jobs(opts)
+	if err != nil {
+		return nil, err
 	}
 	outs, err := opts.runMatrix("fig7", jobs)
 	if err != nil {
@@ -548,23 +599,31 @@ type Fig8Cell struct {
 	Breakdown      stats.Breakdown
 }
 
+// fig8Jobs declares the Figure 8 matrix; o must be normalized.
+func fig8Jobs(o Options) ([]Job, error) {
+	var jobs []Job
+	for _, app := range o.appsOr(allAppNames()) {
+		for _, hop := range o.HopLatencies {
+			h := hop
+			jobs = append(jobs, Job{
+				App:    app,
+				Procs:  o.MaxProcs,
+				Knobs:  map[string]any{"hop_latency": h},
+				Mutate: func(c *tcc.Config) { c.HopLatency = h },
+			})
+		}
+	}
+	return jobs, nil
+}
+
 // Fig8 sweeps mesh hop latency at opts.MaxProcs processors.
 func Fig8(opts Options) ([]Fig8Cell, error) {
 	if err := opts.Normalize(); err != nil {
 		return nil, err
 	}
-	apps := opts.appsOr(allAppNames())
-	var jobs []Job
-	for _, app := range apps {
-		for _, hop := range opts.HopLatencies {
-			h := hop
-			jobs = append(jobs, Job{
-				App:    app,
-				Procs:  opts.MaxProcs,
-				Knobs:  map[string]any{"hop_latency": h},
-				Mutate: func(c *tcc.Config) { c.HopLatency = h },
-			})
-		}
+	jobs, err := fig8Jobs(opts)
+	if err != nil {
+		return nil, err
 	}
 	outs, err := opts.runMatrix("fig8", jobs)
 	if err != nil {
@@ -608,15 +667,23 @@ type Fig9Row struct {
 	Total          float64
 }
 
+// fig9Jobs declares the Figure 9 matrix; o must be normalized.
+func fig9Jobs(o Options) ([]Job, error) {
+	var jobs []Job
+	for _, app := range o.appsOr(allAppNames()) {
+		jobs = append(jobs, Job{App: app, Procs: o.MaxProcs})
+	}
+	return jobs, nil
+}
+
 // Fig9 measures per-class network traffic at opts.MaxProcs processors.
 func Fig9(opts Options) ([]Fig9Row, error) {
 	if err := opts.Normalize(); err != nil {
 		return nil, err
 	}
-	apps := opts.appsOr(allAppNames())
-	var jobs []Job
-	for _, app := range apps {
-		jobs = append(jobs, Job{App: app, Procs: opts.MaxProcs})
+	jobs, err := fig9Jobs(opts)
+	if err != nil {
+		return nil, err
 	}
 	outs, err := opts.runMatrix("fig9", jobs)
 	if err != nil {

@@ -74,6 +74,63 @@ type Recorder struct {
 	cells []Cell
 }
 
+// cellParts builds the cell for one (job, result) pair — everything except
+// SpeedupVsBase, which depends on the series base and is filled by the
+// caller. Checkpoint resume reuses this so a resumed report's cells are
+// computed by the same code path as a fresh run's.
+func cellParts(experiment string, j Job, out RunResult) Cell {
+	s := out.summary()
+	protocol := j.protocol()
+	machine := protocol
+	if protocol == "tcc" {
+		machine = "scalable"
+	}
+	c := Cell{
+		Experiment: experiment,
+		App:        j.App,
+		Procs:      j.Procs,
+		Machine:    machine,
+		Protocol:   protocol,
+		Config:     j.Knobs,
+		Summary:    s,
+		Events:     out.Events,
+	}
+	if res := out.Results; res != nil {
+		c.Traffic = &Traffic{
+			CommitBytes:    res.Traffic.BytesByClass[mesh.ClassCommit],
+			MissBytes:      res.Traffic.BytesByClass[mesh.ClassMiss],
+			WriteBackBytes: res.Traffic.BytesByClass[mesh.ClassWriteBack],
+			SharedBytes:    res.Traffic.BytesByClass[mesh.ClassShared],
+			TotalBytes:     res.Traffic.TotalBytes(),
+			BytesPerInstr:  res.BytesPerInstr(),
+		}
+	} else if pr := out.Proto; pr != nil {
+		var ms *mesh.Stats
+		switch {
+		case pr.Scalable != nil:
+			ms = &pr.Scalable.Traffic
+		case pr.TL2 != nil:
+			ms = &pr.TL2.Traffic
+		case pr.Eager != nil:
+			ms = &pr.Eager.Traffic
+		}
+		if ms != nil {
+			t := &Traffic{
+				CommitBytes:    ms.BytesByClass[mesh.ClassCommit],
+				MissBytes:      ms.BytesByClass[mesh.ClassMiss],
+				WriteBackBytes: ms.BytesByClass[mesh.ClassWriteBack],
+				SharedBytes:    ms.BytesByClass[mesh.ClassShared],
+				TotalBytes:     ms.TotalBytes(),
+			}
+			if s.Instructions > 0 {
+				t.BytesPerInstr = float64(t.TotalBytes) / float64(s.Instructions)
+			}
+			c.Traffic = t
+		}
+	}
+	return c
+}
+
 // add converts one executed matrix into cells, in job-index order.
 func (r *Recorder) add(experiment string, jobs []Job, outs []RunResult) {
 	if r == nil {
@@ -83,63 +140,15 @@ func (r *Recorder) add(experiment string, jobs []Job, outs []RunResult) {
 	defer r.mu.Unlock()
 	base := make(map[string]uint64) // (app, protocol) -> base cycles
 	for i, j := range jobs {
-		s := outs[i].summary()
-		protocol := j.protocol()
-		machine := protocol
-		if protocol == "tcc" {
-			machine = "scalable"
-		}
-		key := j.App + "\x00" + protocol
+		c := cellParts(experiment, j, outs[i])
+		key := j.App + "\x00" + c.Protocol
 		b, ok := base[key]
 		if !ok {
-			base[key] = s.Cycles
-			b = s.Cycles
+			base[key] = c.Summary.Cycles
+			b = c.Summary.Cycles
 		}
-		c := Cell{
-			Experiment: experiment,
-			App:        j.App,
-			Procs:      j.Procs,
-			Machine:    machine,
-			Protocol:   protocol,
-			Config:     j.Knobs,
-			Summary:    s,
-			Events:     outs[i].Events,
-		}
-		if s.Cycles > 0 {
-			c.SpeedupVsBase = float64(b) / float64(s.Cycles)
-		}
-		if res := outs[i].Results; res != nil {
-			c.Traffic = &Traffic{
-				CommitBytes:    res.Traffic.BytesByClass[mesh.ClassCommit],
-				MissBytes:      res.Traffic.BytesByClass[mesh.ClassMiss],
-				WriteBackBytes: res.Traffic.BytesByClass[mesh.ClassWriteBack],
-				SharedBytes:    res.Traffic.BytesByClass[mesh.ClassShared],
-				TotalBytes:     res.Traffic.TotalBytes(),
-				BytesPerInstr:  res.BytesPerInstr(),
-			}
-		} else if pr := outs[i].Proto; pr != nil {
-			var ms *mesh.Stats
-			switch {
-			case pr.Scalable != nil:
-				ms = &pr.Scalable.Traffic
-			case pr.TL2 != nil:
-				ms = &pr.TL2.Traffic
-			case pr.Eager != nil:
-				ms = &pr.Eager.Traffic
-			}
-			if ms != nil {
-				t := &Traffic{
-					CommitBytes:    ms.BytesByClass[mesh.ClassCommit],
-					MissBytes:      ms.BytesByClass[mesh.ClassMiss],
-					WriteBackBytes: ms.BytesByClass[mesh.ClassWriteBack],
-					SharedBytes:    ms.BytesByClass[mesh.ClassShared],
-					TotalBytes:     ms.TotalBytes(),
-				}
-				if s.Instructions > 0 {
-					t.BytesPerInstr = float64(t.TotalBytes) / float64(s.Instructions)
-				}
-				c.Traffic = t
-			}
+		if c.Summary.Cycles > 0 {
+			c.SpeedupVsBase = float64(b) / float64(c.Summary.Cycles)
 		}
 		r.cells = append(r.cells, c)
 	}

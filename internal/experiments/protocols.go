@@ -27,19 +27,12 @@ type ProtoCell struct {
 	Breakdown  stats.Breakdown
 }
 
-// ProtocolSweep runs opts.Apps (default: the fig7 contention workload,
-// hotspot) across opts.Procs for every protocol in opts.Protocols (default:
-// the full registry), all through the unified RunProtocol API.
-func ProtocolSweep(opts Options) ([]ProtoCell, error) {
-	if err := opts.Normalize(); err != nil {
-		return nil, err
-	}
-	apps := opts.appsOr([]string{"hotspot"})
-	protocols := opts.protocolsOr()
+// protocolsJobs declares the head-to-head matrix; o must be normalized.
+func protocolsJobs(o Options) ([]Job, error) {
 	var jobs []Job
-	for _, app := range apps {
-		for _, proto := range protocols {
-			for _, procs := range opts.Procs {
+	for _, app := range o.appsOr([]string{"hotspot"}) {
+		for _, proto := range o.protocolsOr() {
+			for _, procs := range o.Procs {
 				jobs = append(jobs, Job{
 					App:      app,
 					Procs:    procs,
@@ -48,6 +41,20 @@ func ProtocolSweep(opts Options) ([]ProtoCell, error) {
 				})
 			}
 		}
+	}
+	return jobs, nil
+}
+
+// ProtocolSweep runs opts.Apps (default: the fig7 contention workload,
+// hotspot) across opts.Procs for every protocol in opts.Protocols (default:
+// the full registry), all through the unified RunProtocol API.
+func ProtocolSweep(opts Options) ([]ProtoCell, error) {
+	if err := opts.Normalize(); err != nil {
+		return nil, err
+	}
+	jobs, err := protocolsJobs(opts)
+	if err != nil {
+		return nil, err
 	}
 	outs, err := opts.runMatrix("protocols", jobs)
 	if err != nil {

@@ -12,11 +12,15 @@ import (
 )
 
 // Experiment is a named, runnable entry: Run executes the experiment's job
-// matrix under o and prints the ordered rows to w.
+// matrix under o and prints the ordered rows to w. Jobs, when non-nil,
+// declares the same matrix without running it — o must already be
+// normalized — which is what lets a checkpointed sweep resume exactly the
+// cells it has not finished.
 type Experiment struct {
 	Name  string
 	Title string
 	Run   func(o Options, w io.Writer) error
+	Jobs  func(o Options) ([]Job, error)
 }
 
 // Registry returns every experiment in presentation order (tables, then
@@ -26,14 +30,14 @@ func Registry() []Experiment {
 		{"table1", "coherence-message vocabulary", func(o Options, w io.Writer) error {
 			Table1(w)
 			return nil
-		}},
+		}, nil},
 		{"table2", "simulated-architecture parameters", func(o Options, w io.Writer) error {
 			if err := o.Normalize(); err != nil {
 				return err
 			}
 			Table2(w, tcc.DefaultConfig(o.MaxProcs))
 			return nil
-		}},
+		}, nil},
 		{"table3", "application fingerprints", func(o Options, w io.Writer) error {
 			rows, err := Table3(o)
 			if err != nil {
@@ -41,7 +45,7 @@ func Registry() []Experiment {
 			}
 			PrintTable3(w, rows)
 			return nil
-		}},
+		}, table3Jobs},
 		{"fig6", "single-processor breakdown", func(o Options, w io.Writer) error {
 			rows, err := Fig6(o)
 			if err != nil {
@@ -49,7 +53,7 @@ func Registry() []Experiment {
 			}
 			PrintFig6(w, rows)
 			return nil
-		}},
+		}, fig6Jobs},
 		{"fig7", "speedup scaling 1-64 CPUs", func(o Options, w io.Writer) error {
 			cells, err := Fig7(o)
 			if err != nil {
@@ -57,7 +61,7 @@ func Registry() []Experiment {
 			}
 			PrintFig7(w, cells)
 			return nil
-		}},
+		}, fig7Jobs},
 		{"fig8", "communication-latency sensitivity", func(o Options, w io.Writer) error {
 			cells, err := Fig8(o)
 			if err != nil {
@@ -65,7 +69,7 @@ func Registry() []Experiment {
 			}
 			PrintFig8(w, cells)
 			return nil
-		}},
+		}, fig8Jobs},
 		{"fig9", "remote traffic by class", func(o Options, w io.Writer) error {
 			rows, err := Fig9(o)
 			if err != nil {
@@ -73,7 +77,7 @@ func Registry() []Experiment {
 			}
 			PrintFig9(w, rows)
 			return nil
-		}},
+		}, fig9Jobs},
 		{"protocols", "protocol head-to-head: TCC vs baseline vs TL2 vs eager", func(o Options, w io.Writer) error {
 			cells, err := ProtocolSweep(o)
 			if err != nil {
@@ -81,7 +85,7 @@ func Registry() []Experiment {
 			}
 			PrintProtocolSweep(w, cells)
 			return nil
-		}},
+		}, protocolsJobs},
 		{"baseline", "bus-serialized commit vs parallel commit (A1)", func(o Options, w io.Writer) error {
 			cells, err := BaselineComparison(o)
 			if err != nil {
@@ -89,7 +93,7 @@ func Registry() []Experiment {
 			}
 			PrintBaseline(w, cells)
 			return nil
-		}},
+		}, baselineJobs},
 		{"granularity", "word vs line conflict detection (A2)", func(o Options, w io.Writer) error {
 			rows, err := Granularity(o)
 			if err != nil {
@@ -97,7 +101,7 @@ func Registry() []Experiment {
 			}
 			PrintGranularity(w, rows)
 			return nil
-		}},
+		}, granularityJobs},
 		{"probes", "deferred vs repeated probing (A3)", func(o Options, w io.Writer) error {
 			rows, err := Probes(o)
 			if err != nil {
@@ -105,7 +109,7 @@ func Registry() []Experiment {
 			}
 			PrintProbes(w, rows)
 			return nil
-		}},
+		}, probesJobs},
 		{"writeback", "write-back vs write-through commit (A4)", func(o Options, w io.Writer) error {
 			rows, err := WriteBack(o)
 			if err != nil {
@@ -113,7 +117,7 @@ func Registry() []Experiment {
 			}
 			PrintWriteBack(w, rows)
 			return nil
-		}},
+		}, writebackJobs},
 		{"dircache", "directory-cache capacity (A5)", func(o Options, w io.Writer) error {
 			rows, err := DirCache(o)
 			if err != nil {
@@ -121,7 +125,7 @@ func Registry() []Experiment {
 			}
 			PrintDirCache(w, rows)
 			return nil
-		}},
+		}, dircacheJobs},
 	}
 }
 

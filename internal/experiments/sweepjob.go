@@ -1,0 +1,403 @@
+// The sweep job kind: the experiments package as a job-runner executor.
+// Importing this package registers "sweep" with the tcc job registry, so
+// the daemon and tccbench both execute sweeps through tcc.RunJob.
+//
+// A sweep job is checkpointable: when the runner provides a checkpoint
+// path, every completed matrix cell is appended to the manifest the moment
+// it finishes, and a restarted job resumes from the manifest instead of
+// recomputing. The resumed report is byte-identical to an uninterrupted
+// run's: checkpoint entries carry each cell's components as raw JSON (the
+// Summary wire form is lossy to decode, so it is never round-tripped
+// through structs), and the series-relative speedups are recomputed from
+// the checkpointed cycle counts by the same float computation the fresh
+// path uses.
+
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"scalabletcc/internal/harness"
+	"scalabletcc/internal/runner"
+	"scalabletcc/tcc"
+)
+
+func init() {
+	tcc.RegisterJobKind(runner.KindSweep, executeSweep, validateSweepSpec)
+}
+
+// sweepNames resolves the spec's experiment list: empty (or the single
+// entry "all") means the full registry, in registry order.
+func sweepNames(sw *runner.SweepSpec) ([]string, error) {
+	names := sw.Experiments
+	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
+		return Names(), nil
+	}
+	for _, n := range names {
+		if _, ok := ByName(n); !ok {
+			return nil, fmt.Errorf("experiments: unknown experiment %q (valid: %s, all)",
+				n, strings.Join(Names(), ", "))
+		}
+	}
+	return names, nil
+}
+
+// validateSweepSpec is the registry validator: every name the spec mentions
+// must resolve, and numeric fields must be in range — the same loud-failure
+// contract DecodeJobSpec applies to the envelope.
+func validateSweepSpec(spec *runner.JobSpec) error {
+	sw := spec.Sweep
+	if _, err := sweepNames(sw); err != nil {
+		return err
+	}
+	for _, app := range sw.Apps {
+		if _, err := tcc.ProfileByNameErr(app); err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+	}
+	for _, p := range sw.Protocols {
+		if _, err := tcc.ProtocolByNameErr(p); err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+	}
+	for _, p := range sw.Procs {
+		if p < 1 {
+			return fmt.Errorf("experiments: processor count %d is invalid", p)
+		}
+	}
+	for _, h := range sw.Hops {
+		if h < 1 {
+			return fmt.Errorf("experiments: hop latency %d is invalid", h)
+		}
+	}
+	if sw.MaxProcs < 0 || sw.Scale < 0 || sw.Parallel < 0 || sw.TimeoutMS < 0 {
+		return fmt.Errorf("experiments: sweep spec numeric fields must be non-negative")
+	}
+	return nil
+}
+
+// sweepOptions maps the wire spec onto Options, zero values taking the
+// tccbench defaults (scale 1.0, seed 1, GOMAXPROCS workers).
+func sweepOptions(sw *runner.SweepSpec) Options {
+	o := DefaultOptions()
+	o.Apps = sw.Apps
+	o.Protocols = sw.Protocols
+	o.Procs = append([]int(nil), sw.Procs...)
+	o.HopLatencies = append([]int(nil), sw.Hops...)
+	if sw.MaxProcs > 0 {
+		o.MaxProcs = sw.MaxProcs
+	}
+	if sw.Scale > 0 {
+		o.Scale = sw.Scale
+	}
+	if sw.Seed > 0 {
+		o.Seed = sw.Seed
+	}
+	o.Verify = sw.Verify
+	o.CountEvents = sw.CountEvents
+	if sw.Parallel > 0 {
+		o.Parallel = sw.Parallel
+	}
+	if sw.TimeoutMS > 0 {
+		o.JobTimeout = time.Duration(sw.TimeoutMS) * time.Millisecond
+	}
+	return o
+}
+
+// sweepExpOptions applies the per-experiment quirk tccbench has always had:
+// Table 3 reports at 32 CPUs unless the caller pinned the machine size.
+func sweepExpOptions(base Options, sw *runner.SweepSpec, name string) Options {
+	o := base
+	if name == "table3" && sw.MaxProcs == 0 {
+		o.MaxProcs = 32 // the paper reports Table 3 at 32 CPUs
+	}
+	return o
+}
+
+// ckptCell is one checkpoint-manifest entry: everything needed to
+// reconstitute the cell's report bytes without re-running it. Summary,
+// Traffic, Config, and Events are stored as raw JSON because the Summary
+// wire form decodes lossily (breakdown fractions round); Cycles is
+// duplicated as a number so speedups can be recomputed exactly.
+type ckptCell struct {
+	Experiment string          `json:"experiment"`
+	Index      int             `json:"index"`
+	App        string          `json:"app"`
+	Procs      int             `json:"procs"`
+	Machine    string          `json:"machine"`
+	Protocol   string          `json:"protocol"`
+	Config     json.RawMessage `json:"config,omitempty"`
+	Cycles     uint64          `json:"cycles"`
+	Summary    json.RawMessage `json:"summary"`
+	Traffic    json.RawMessage `json:"traffic,omitempty"`
+	Events     json.RawMessage `json:"events,omitempty"`
+}
+
+// checkpointEntry renders one completed cell into its manifest entry,
+// through the same cellParts the fresh report path uses.
+func checkpointEntry(experiment string, index int, j Job, out RunResult) (ckptCell, error) {
+	c := cellParts(experiment, j, out)
+	e := ckptCell{
+		Experiment: experiment,
+		Index:      index,
+		App:        c.App,
+		Procs:      c.Procs,
+		Machine:    c.Machine,
+		Protocol:   c.Protocol,
+		Cycles:     c.Summary.Cycles,
+	}
+	var err error
+	if len(c.Config) > 0 {
+		if e.Config, err = json.Marshal(c.Config); err != nil {
+			return e, err
+		}
+	}
+	if e.Summary, err = json.Marshal(c.Summary); err != nil {
+		return e, err
+	}
+	if c.Traffic != nil {
+		if e.Traffic, err = json.Marshal(c.Traffic); err != nil {
+			return e, err
+		}
+	}
+	if len(c.Events) > 0 {
+		if e.Events, err = json.Marshal(c.Events); err != nil {
+			return e, err
+		}
+	}
+	return e, nil
+}
+
+// rawCell mirrors Cell field-for-field (same JSON tags, same order) with
+// the lossy components held as raw JSON, so a resumed report marshals to
+// the same bytes as a fresh one.
+type rawCell struct {
+	Experiment    string          `json:"experiment"`
+	App           string          `json:"app"`
+	Procs         int             `json:"procs"`
+	Machine       string          `json:"machine"`
+	Protocol      string          `json:"protocol"`
+	Config        json.RawMessage `json:"config,omitempty"`
+	SpeedupVsBase float64         `json:"speedup_vs_base"`
+	Summary       json.RawMessage `json:"summary"`
+	Traffic       json.RawMessage `json:"traffic,omitempty"`
+	Events        json.RawMessage `json:"events,omitempty"`
+}
+
+// rawReport mirrors Report the same way.
+type rawReport struct {
+	Schema   string    `json:"schema"`
+	Version  int       `json:"version"`
+	Seed     uint64    `json:"seed"`
+	Scale    float64   `json:"scale"`
+	Parallel int       `json:"parallel"`
+	Cells    []rawCell `json:"cells"`
+}
+
+// executeSweep is the "sweep" job executor: tccbench's experiment loop in
+// job form, with optional checkpointing when the runner provides a path.
+func executeSweep(ctx context.Context, spec *runner.JobSpec, jc *runner.JobContext) (*runner.JobResult, error) {
+	sw := spec.Sweep
+	names, err := sweepNames(sw)
+	if err != nil {
+		return nil, err
+	}
+	progress := jc.Progress
+	if progress == nil {
+		progress = func(string, int, int) {}
+	}
+	base := sweepOptions(sw)
+
+	var hash string
+	if jc.CheckpointPath != "" {
+		if hash, err = spec.Hash(); err != nil {
+			return nil, err
+		}
+		entries, err := runner.LoadCheckpoint(jc.CheckpointPath, hash)
+		if err != nil {
+			return nil, err
+		}
+		if len(entries) > 0 {
+			return resumeSweep(ctx, sw, jc.CheckpointPath, progress, names, base, entries)
+		}
+	}
+
+	var cw *runner.CheckpointWriter
+	if jc.CheckpointPath != "" {
+		if cw, err = runner.CreateCheckpoint(jc.CheckpointPath, jc.ID, hash); err != nil {
+			return nil, err
+		}
+		defer cw.Close()
+	}
+	rec := &Recorder{}
+	var tables bytes.Buffer
+	for _, name := range names {
+		e, _ := ByName(name)
+		o := sweepExpOptions(base, sw, name)
+		o.Ctx = ctx
+		o.Record = rec
+		stage := name
+		o.Progress = func(done, total int) { progress(stage, done, total) }
+		if cw != nil {
+			o.OnCell = func(experiment string, index int, j Job, out RunResult) {
+				if entry, err := checkpointEntry(experiment, index, j, out); err == nil {
+					cw.Append(entry)
+				}
+			}
+		}
+		fmt.Fprintf(&tables, "== %s ==\n", name)
+		if err := e.Run(o, &tables); err != nil {
+			return nil, err
+		}
+		fmt.Fprintln(&tables)
+	}
+	rep := rec.Report(base)
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		return nil, err
+	}
+	res := &runner.JobResult{Kind: runner.KindSweep, Report: buf.Bytes(), Cells: len(rep.Cells)}
+	if sw.Tables {
+		res.Tables = tables.String()
+	}
+	return res, nil
+}
+
+// resumeSweep rebuilds the report from checkpointed cells, running only the
+// matrix indices the manifest is missing. Tables are not reconstructed —
+// checkpoints carry report cells, not table rows — so a resumed result has
+// Resumed set and no Tables.
+func resumeSweep(ctx context.Context, sw *runner.SweepSpec, ckptPath string,
+	progress func(string, int, int), names []string, base Options, entries [][]byte) (*runner.JobResult, error) {
+	done := make(map[string]map[int]ckptCell)
+	for _, line := range entries {
+		var c ckptCell
+		if err := json.Unmarshal(line, &c); err != nil {
+			continue // the spec-hash header already vouched for the file; skip, don't trust
+		}
+		m := done[c.Experiment]
+		if m == nil {
+			m = make(map[int]ckptCell)
+			done[c.Experiment] = m
+		}
+		m[c.Index] = c
+	}
+	cw, err := runner.AppendCheckpoint(ckptPath)
+	if err != nil {
+		return nil, err
+	}
+	defer cw.Close()
+
+	var cells []rawCell
+	for _, name := range names {
+		e, _ := ByName(name)
+		if e.Jobs == nil {
+			continue // table1/table2 contribute no report cells
+		}
+		o := sweepExpOptions(base, sw, name)
+		if err := o.Normalize(); err != nil {
+			return nil, err
+		}
+		jobs, err := e.Jobs(o)
+		if err != nil {
+			return nil, err
+		}
+		have := done[name]
+		var missingIdx []int
+		var missingJobs []Job
+		for i := range jobs {
+			if _, ok := have[i]; !ok {
+				missingIdx = append(missingIdx, i)
+				missingJobs = append(missingJobs, jobs[i])
+			}
+		}
+		if len(missingJobs) > 0 {
+			completed := len(jobs) - len(missingJobs)
+			stage := name
+			outs, err := harness.Map(harness.Config{
+				Workers:    o.Parallel,
+				Timeout:    o.JobTimeout,
+				OnProgress: func(d, _ int) { progress(stage, completed+d, len(jobs)) },
+			}, missingJobs, func(k int, j Job) (RunResult, error) {
+				select {
+				case <-ctx.Done():
+					return RunResult{}, ctx.Err()
+				default:
+				}
+				out, err := o.runJob(j)
+				if err == nil {
+					if entry, eerr := checkpointEntry(name, missingIdx[k], j, out); eerr == nil {
+						cw.Append(entry) // durable before the harness even collects it
+					}
+				}
+				return out, err
+			})
+			if err != nil {
+				return nil, err
+			}
+			if have == nil {
+				have = make(map[int]ckptCell)
+				done[name] = have
+			}
+			for k, out := range outs {
+				entry, err := checkpointEntry(name, missingIdx[k], missingJobs[k], out)
+				if err != nil {
+					return nil, err
+				}
+				have[missingIdx[k]] = entry
+			}
+		} else {
+			progress(name, len(jobs), len(jobs))
+		}
+		// Reassemble this experiment's cells in index order, recomputing the
+		// series-relative speedups exactly as Recorder.add does: the base is
+		// the first cell of the same (app, protocol) series.
+		baseCycles := make(map[string]uint64)
+		for i := range jobs {
+			c, ok := have[i]
+			if !ok {
+				return nil, fmt.Errorf("experiments: resume: cell %d of %s is still missing", i, name)
+			}
+			key := c.App + "\x00" + c.Protocol
+			b, seen := baseCycles[key]
+			if !seen {
+				baseCycles[key] = c.Cycles
+				b = c.Cycles
+			}
+			rc := rawCell{
+				Experiment: name,
+				App:        c.App,
+				Procs:      c.Procs,
+				Machine:    c.Machine,
+				Protocol:   c.Protocol,
+				Config:     c.Config,
+				Summary:    c.Summary,
+				Traffic:    c.Traffic,
+				Events:     c.Events,
+			}
+			if c.Cycles > 0 {
+				rc.SpeedupVsBase = float64(b) / float64(c.Cycles)
+			}
+			cells = append(cells, rc)
+		}
+	}
+	rep := rawReport{
+		Schema:   ReportSchema,
+		Version:  ReportVersion,
+		Seed:     base.Seed,
+		Scale:    base.Scale,
+		Parallel: base.Parallel,
+		Cells:    cells,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("experiments: marshal resumed report: %w", err)
+	}
+	data = append(data, '\n')
+	return &runner.JobResult{Kind: runner.KindSweep, Report: data, Cells: len(cells), Resumed: true}, nil
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"scalabletcc/internal/runner"
+	"scalabletcc/tcc"
+)
+
+func sweepSpec(t *testing.T) *runner.JobSpec {
+	t.Helper()
+	spec := runner.NewJobSpec(runner.KindSweep)
+	spec.Sweep = &runner.SweepSpec{
+		Experiments: []string{"fig7", "protocols"},
+		Apps:        []string{"hotspot"},
+		Protocols:   []string{"tcc", "tl2"},
+		Procs:       []int{1, 2, 4},
+		Scale:       0.05,
+		Seed:        3,
+		Parallel:    2,
+		Tables:      true,
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func runSweep(t *testing.T, spec *runner.JobSpec, ckpt string) *runner.JobResult {
+	t.Helper()
+	jc := runner.NewJobContext()
+	jc.ID = "j000000"
+	jc.CheckpointPath = ckpt
+	res, err := executeSweep(context.Background(), spec, jc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// A sweep resumed from a partial checkpoint manifest must produce the
+// byte-identical bench-sweep report an uninterrupted run produces — the
+// whole point of storing raw JSON components per cell.
+func TestSweepResumeMatchesUninterrupted(t *testing.T) {
+	spec := sweepSpec(t)
+	dir := t.TempDir()
+
+	uninterrupted := runSweep(t, spec, "")
+	if uninterrupted.Resumed || uninterrupted.Cells == 0 {
+		t.Fatalf("fresh run: %d cells, resumed=%v", uninterrupted.Cells, uninterrupted.Resumed)
+	}
+	if !strings.Contains(uninterrupted.Tables, "== fig7 ==") {
+		t.Fatalf("tables missing experiment framing: %q", uninterrupted.Tables[:min(len(uninterrupted.Tables), 80)])
+	}
+
+	// Run once with checkpointing to record a full manifest, then emulate a
+	// daemon killed mid-sweep by truncating it to the header plus a few
+	// entries. (Deterministic, unlike racing a real cancellation.)
+	ckpt := filepath.Join(dir, "sweep.ckpt.jsonl")
+	full := runSweep(t, spec, ckpt)
+	if !bytes.Equal(full.Report, uninterrupted.Report) {
+		t.Fatal("checkpointed fresh run must not change the report")
+	}
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	if len(lines) < 5 {
+		t.Fatalf("manifest too short to truncate: %d lines", len(lines))
+	}
+	partial := bytes.Join(lines[:4], nil) // header + 3 cells
+	if err := os.WriteFile(ckpt, partial, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := runSweep(t, spec, ckpt)
+	if !resumed.Resumed {
+		t.Fatal("run from a non-empty manifest must report Resumed")
+	}
+	if resumed.Tables != "" {
+		t.Fatal("resumed runs drop tables (checkpoints carry cells, not rows)")
+	}
+	if resumed.Cells != uninterrupted.Cells {
+		t.Fatalf("resumed %d cells, uninterrupted %d", resumed.Cells, uninterrupted.Cells)
+	}
+	if !bytes.Equal(resumed.Report, uninterrupted.Report) {
+		t.Fatalf("resumed report differs from uninterrupted:\n--- uninterrupted\n%s\n--- resumed\n%s",
+			uninterrupted.Report, resumed.Report)
+	}
+
+	// A manifest recorded under a different spec must be ignored, not
+	// replayed: the edited job recomputes from scratch.
+	edited := sweepSpec(t)
+	edited.Sweep.Seed = 4
+	res := runSweep(t, edited, ckpt)
+	if res.Resumed {
+		t.Fatal("a spec change must invalidate the manifest")
+	}
+}
+
+// The full-registry default ("all" / empty) must honor the table3 machine
+// quirk and validate loudly on bad names.
+func TestSweepSpecResolution(t *testing.T) {
+	if names, err := sweepNames(&runner.SweepSpec{}); err != nil || len(names) != len(Names()) {
+		t.Fatalf("empty list must mean the registry: %v %v", names, err)
+	}
+	if names, err := sweepNames(&runner.SweepSpec{Experiments: []string{"all"}}); err != nil || len(names) != len(Names()) {
+		t.Fatalf(`"all" must mean the registry: %v %v`, names, err)
+	}
+	if _, err := sweepNames(&runner.SweepSpec{Experiments: []string{"fig99"}}); err == nil ||
+		!strings.Contains(err.Error(), "fig7") {
+		t.Fatalf("unknown experiment must list valid names, got %v", err)
+	}
+
+	spec := runner.NewJobSpec(runner.KindSweep)
+	spec.Sweep = &runner.SweepSpec{Apps: []string{"no-such-app"}}
+	if err := validateSweepSpec(spec); err == nil || !strings.Contains(err.Error(), "unknown profile") {
+		t.Fatalf("bad app must fail validation, got %v", err)
+	}
+
+	base := sweepOptions(&runner.SweepSpec{})
+	if o := sweepExpOptions(base, &runner.SweepSpec{}, "table3"); o.MaxProcs != 32 {
+		t.Fatalf("table3 defaults to 32 CPUs, got %d", o.MaxProcs)
+	}
+	if o := sweepExpOptions(base, &runner.SweepSpec{MaxProcs: 16}, "table3"); o.MaxProcs != 64 {
+		// base was built from a spec without MaxProcs; the quirk keys on the
+		// spec, so a pinned spec keeps base's value.
+		t.Fatalf("pinned MaxProcs must suppress the table3 quirk, got %d", o.MaxProcs)
+	}
+}
+
+// The sweep kind is registered with the tcc job registry on import, and a
+// canceled context stops the sweep at a cell boundary.
+func TestSweepRegisteredAndCancelable(t *testing.T) {
+	spec := sweepSpec(t)
+	spec.Sweep.Tables = false
+	out, err := tcc.RunJob(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.Kind != runner.KindSweep || out.Result.Cells == 0 || out.Result.Tables != "" {
+		t.Fatalf("sweep through tcc.RunJob: %+v", out.Result)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tcc.RunJob(ctx, spec, nil); err == nil || !strings.Contains(err.Error(), "canceled") {
+		t.Fatalf("canceled sweep must fail with the context error, got %v", err)
+	}
+}

@@ -1,0 +1,66 @@
+package fuzz
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"scalabletcc/internal/runner"
+	"scalabletcc/tcc"
+)
+
+// A fuzz job through the registry must run a real (short) campaign and
+// report it as wire JSON, resolving a relative tape dir against the state
+// directory the checkpoint path implies.
+func TestFuzzJobKind(t *testing.T) {
+	spec := runner.NewJobSpec(runner.KindFuzz)
+	spec.Fuzz = &runner.FuzzSpec{DurationSec: 1, Seed: 5, Jobs: 2, OutDir: "tapes"}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	out, err := tcc.RunJob(context.Background(), spec, &tcc.RunJobOptions{
+		CheckpointPath: filepath.Join(dir, "j000000.ckpt.jsonl"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.Kind != runner.KindFuzz {
+		t.Fatalf("result: %+v", out.Result)
+	}
+	var rep struct {
+		Cases      int     `json:"cases"`
+		Clean      int     `json:"clean"`
+		ElapsedSec float64 `json:"elapsed_sec"`
+		Failures   []struct {
+			Tape string `json:"tape"`
+		} `json:"failures"`
+	}
+	if err := json.Unmarshal(out.Result.Fuzz, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cases == 0 || rep.ElapsedSec <= 0 {
+		t.Fatalf("campaign did not run: %+v", rep)
+	}
+	for _, f := range rep.Failures {
+		if f.Tape != "" && !strings.HasPrefix(f.Tape, dir) {
+			t.Fatalf("relative tape dir must resolve into the state dir: %q", f.Tape)
+		}
+	}
+}
+
+func TestFuzzJobValidation(t *testing.T) {
+	spec := runner.NewJobSpec(runner.KindFuzz)
+	spec.Fuzz = &runner.FuzzSpec{DurationSec: 1, Protocols: []string{"no-such"}}
+	if err := tcc.ValidateJobSpec(spec); err == nil ||
+		!strings.Contains(err.Error(), "unknown protocol") {
+		t.Fatalf("want unknown-protocol error, got %v", err)
+	}
+	spec.Fuzz = &runner.FuzzSpec{DurationSec: 1, Jobs: -1}
+	if err := tcc.ValidateJobSpec(spec); err == nil ||
+		!strings.Contains(err.Error(), "non-negative") {
+		t.Fatalf("want range error, got %v", err)
+	}
+}

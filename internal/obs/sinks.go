@@ -18,6 +18,18 @@ const (
 	StreamVersion = 1
 )
 
+// streamHeader is the first line of every JSONL event stream.
+type streamHeader struct {
+	Schema  string `json:"schema"`
+	Version int    `json:"version"`
+}
+
+// sampleLine wraps a Sample with its "k" discriminator.
+type sampleLine struct {
+	K string `json:"k"`
+	Sample
+}
+
 // JSONLWriter streams events (and sampler records) as JSON lines. The first
 // line is a schema header; every following line carries a "k" discriminator —
 // an event kind name, or "sample" for a sampler record. Output depends only
@@ -42,10 +54,7 @@ func (j *JSONLWriter) line(v any) {
 	}
 	if !j.header {
 		j.header = true
-		j.line(struct {
-			Schema  string `json:"schema"`
-			Version int    `json:"version"`
-		}{StreamSchema, StreamVersion})
+		j.line(streamHeader{StreamSchema, StreamVersion})
 	}
 	b, err := json.Marshal(v)
 	if err != nil {
@@ -61,12 +70,7 @@ func (j *JSONLWriter) line(v any) {
 func (j *JSONLWriter) Event(e Event) { j.line(e) }
 
 // Sample writes one sampler line, discriminated by "k":"sample".
-func (j *JSONLWriter) Sample(s Sample) {
-	j.line(struct {
-		K string `json:"k"`
-		Sample
-	}{"sample", s})
-}
+func (j *JSONLWriter) Sample(s Sample) { j.line(sampleLine{"sample", s}) }
 
 // Flush drains the buffer and returns the first error encountered.
 func (j *JSONLWriter) Flush() error {
@@ -75,6 +79,50 @@ func (j *JSONLWriter) Flush() error {
 	}
 	return j.err
 }
+
+// JSONLStream produces the exact byte stream JSONLWriter does — same header,
+// same per-line encoding — but hands each complete line to w the moment it
+// is produced instead of buffering. It is the live-streaming sink: writing
+// into a runner.StreamLog line by line lets SSE subscribers tail a running
+// job, while a file target still sees byte-identical output. Write errors
+// are sticky and reported by Err.
+type JSONLStream struct {
+	w      io.Writer
+	err    error
+	header bool
+}
+
+// NewJSONLStream returns an unbuffered line-at-a-time writer streaming to w.
+func NewJSONLStream(w io.Writer) *JSONLStream {
+	return &JSONLStream{w: w}
+}
+
+func (j *JSONLStream) line(v any) {
+	if j.err != nil {
+		return
+	}
+	if !j.header {
+		j.header = true
+		j.line(streamHeader{StreamSchema, StreamVersion})
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		j.err = fmt.Errorf("obs: marshal event: %w", err)
+		return
+	}
+	if _, err := j.w.Write(append(b, '\n')); err != nil {
+		j.err = err
+	}
+}
+
+// Event writes one event line.
+func (j *JSONLStream) Event(e Event) { j.line(e) }
+
+// Sample writes one sampler line, discriminated by "k":"sample".
+func (j *JSONLStream) Sample(s Sample) { j.line(sampleLine{"sample", s}) }
+
+// Err returns the first write or encode error encountered.
+func (j *JSONLStream) Err() error { return j.err }
 
 // ---------------------------------------------------------------------------
 // Bounded ring buffer.

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func streamFixture() ([]Event, []Sample) {
+	events := []Event{
+		{Kind: KLoad, Cycle: 10, Node: 1, TID: 3, Addr: 0x40, Words: 0xf},
+		{Kind: KCommit, Cycle: 20, Node: 1, TID: 3},
+		{Kind: KViolation, Cycle: 25, Node: 2, TID: 4, Addr: 0x80},
+	}
+	samples := []Sample{{Cycle: 16}}
+	return events, samples
+}
+
+// JSONLStream's whole contract is byte-identity with JSONLWriter: only the
+// flushing discipline differs.
+func TestJSONLStreamMatchesWriterBytes(t *testing.T) {
+	events, samples := streamFixture()
+
+	var buffered bytes.Buffer
+	w := NewJSONL(&buffered)
+	var live bytes.Buffer
+	s := NewJSONLStream(&live)
+
+	for _, e := range events {
+		w.Event(e)
+		s.Event(e)
+	}
+	for _, sm := range samples {
+		w.Sample(sm)
+		s.Sample(sm)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buffered.Bytes(), live.Bytes()) {
+		t.Fatalf("streams differ:\nwriter: %s\nstream: %s", buffered.Bytes(), live.Bytes())
+	}
+	if live.Len() == 0 || !bytes.HasPrefix(live.Bytes(), []byte(`{"schema":"scalabletcc/events","version":1}`)) {
+		t.Fatalf("missing schema header: %s", live.Bytes())
+	}
+}
+
+// Every Event/Sample call must hand complete lines to the writer
+// immediately — that is what lets SSE subscribers tail a running job.
+func TestJSONLStreamFlushesPerLine(t *testing.T) {
+	events, _ := streamFixture()
+	var buf bytes.Buffer
+	s := NewJSONLStream(&buf)
+	s.Event(events[0])
+	if n := bytes.Count(buf.Bytes(), []byte("\n")); n != 2 { // header + event
+		t.Fatalf("after first event: %d complete lines, want 2: %q", n, buf.Bytes())
+	}
+	if buf.Bytes()[buf.Len()-1] != '\n' {
+		t.Fatal("stream must end on a line boundary after every call")
+	}
+}
+
+type failWriter struct{ after int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.after <= 0 {
+		return 0, errors.New("sink failed")
+	}
+	f.after--
+	return len(p), nil
+}
+
+func TestJSONLStreamStickyError(t *testing.T) {
+	events, _ := streamFixture()
+	s := NewJSONLStream(&failWriter{after: 1}) // header succeeds, first event fails
+	s.Event(events[0])
+	if s.Err() == nil {
+		t.Fatal("write failure must surface through Err")
+	}
+	s.Event(events[1]) // must not panic or clear the error
+	if s.Err() == nil {
+		t.Fatal("error must be sticky")
+	}
+}

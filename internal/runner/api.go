@@ -1,0 +1,181 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// MaxSpecBytes bounds a submitted job document; anything larger is refused
+// before decoding.
+const MaxSpecBytes = 1 << 20
+
+// NewServer returns the daemon's HTTP API over q:
+//
+//	POST /v1/jobs              submit a scalabletcc/job v1 document → 202 + status
+//	                           (400 invalid spec, 429 + Retry-After queue full)
+//	GET  /v1/jobs              list all jobs
+//	GET  /v1/jobs/{id}         poll one job's status
+//	GET  /v1/jobs/{id}/result  terminal result (409 while still pending/running)
+//	GET  /v1/jobs/{id}/events  live event stream (SSE; data frames carry the
+//	                           job's scalabletcc/events v1 JSONL lines verbatim)
+//	POST /v1/jobs/{id}/cancel  cancel a queued or running job
+//	GET  /healthz              liveness + queue depth
+//
+// cmd/tccd wraps this mux with its own discovery endpoints (/v1/protocols,
+// /v1/profiles) that need the tcc registries this leaf package cannot see.
+func NewServer(q *Queue) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, MaxSpecBytes+1))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
+			return
+		}
+		if len(body) > MaxSpecBytes {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("job spec exceeds %d bytes", MaxSpecBytes))
+			return
+		}
+		spec, err := DecodeJobSpec(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		st, err := q.Submit(spec)
+		switch {
+		case err == ErrQueueFull:
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, err.Error())
+		case err != nil:
+			httpError(w, http.StatusBadRequest, err.Error())
+		default:
+			writeJSON(w, http.StatusAccepted, st)
+		}
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Jobs []*JobStatus `json:"jobs"`
+		}{q.List()})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := q.Status(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown job")
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		res, st, ok := q.Result(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown job")
+			return
+		}
+		switch st.State {
+		case StateQueued, StateRunning:
+			httpError(w, http.StatusConflict,
+				fmt.Sprintf("job %s is %s; result not ready", st.ID, st.State))
+		default:
+			writeJSON(w, http.StatusOK, struct {
+				Status *JobStatus `json:"status"`
+				Result *JobResult `json:"result,omitempty"`
+			}{st, res})
+		}
+	})
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if err := q.Cancel(id); err != nil {
+			httpError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		st, _ := q.Status(id)
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		serveEvents(q, w, r)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			OK         bool `json:"ok"`
+			QueueDepth int  `json:"queue_depth"`
+		}{true, q.QueueDepth()})
+	})
+	return mux
+}
+
+// serveEvents streams a job's event log as SSE. Each complete JSONL line
+// becomes one `data:` frame carrying the line verbatim (minus its newline),
+// so concatenating the data payloads plus a newline apiece reconstructs the
+// exact scalabletcc/events v1 byte stream. A subscriber attaching mid-run
+// first replays the prefix, then tails live appends. The stream ends with
+// an `event: done` frame carrying the job's terminal state.
+func serveEvents(q *Queue, w http.ResponseWriter, r *http.Request) {
+	log, ok := q.Events(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	var partial []byte // bytes after the last newline seen so far
+	off := 0
+	for {
+		data, closed, err := log.Wait(r.Context(), off)
+		if err != nil {
+			return // client went away
+		}
+		off += len(data)
+		partial = append(partial, data...)
+		for {
+			i := bytes.IndexByte(partial, '\n')
+			if i < 0 {
+				break
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", partial[:i]); err != nil {
+				return
+			}
+			partial = partial[i+1:]
+		}
+		flusher.Flush()
+		if closed {
+			// A trailing partial line means the writer was abandoned
+			// mid-line; it is not a valid events line, so drop it.
+			st, _ := q.Status(r.PathValue("id"))
+			state := StateDone
+			if st != nil {
+				state = st.State
+			}
+			fmt.Fprintf(w, "event: done\ndata: {\"k\":\"job-done\",\"state\":%q}\n\n", state)
+			flusher.Flush()
+			return
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintf(w, "{\"error\":%q}\n", err.Error())
+		return
+	}
+	w.Write(append(data, '\n'))
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, struct {
+		Error string `json:"error"`
+	}{msg})
+}

@@ -1,0 +1,232 @@
+package runner
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func postSpec(t *testing.T, url string, spec *JobSpec) *http.Response {
+	t.Helper()
+	data, err := spec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeStatus(t *testing.T, resp *http.Response) *JobStatus {
+	t.Helper()
+	defer resp.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return &st
+}
+
+func TestServerLifecycle(t *testing.T) {
+	ex := newBlockingExecutor()
+	q := NewQueue(Config{Capacity: 4, Workers: 1}, ex.exec)
+	defer q.Shutdown()
+	srv := httptest.NewServer(NewServer(q))
+	defer srv.Close()
+
+	// Submit.
+	resp := postSpec(t, srv.URL, runSpec("lifecycle"))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	st := decodeStatus(t, resp)
+	if st.ID == "" || st.Kind != KindRun {
+		t.Fatalf("bad submit status: %+v", st)
+	}
+	<-ex.started
+
+	// Poll.
+	waitState(t, q, st.ID, StateRunning)
+	resp2, err := http.Get(srv.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decodeStatus(t, resp2); got.State != StateRunning {
+		t.Fatalf("polled state %q", got.State)
+	}
+
+	// Result before completion: 409.
+	resp3, err := http.Get(srv.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusConflict {
+		t.Fatalf("early result status %d, want 409", resp3.StatusCode)
+	}
+
+	// SSE stream: the hello line, then the done frame once finished.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL+"/v1/jobs/"+st.ID+"/events", nil)
+	resp4, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp4.Body.Close()
+	if ct := resp4.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content-type %q", ct)
+	}
+	sse := bufio.NewScanner(resp4.Body)
+	readFrame := func() (data string) {
+		for sse.Scan() {
+			line := sse.Text()
+			if strings.HasPrefix(line, "data: ") {
+				return strings.TrimPrefix(line, "data: ")
+			}
+		}
+		t.Fatalf("SSE stream ended early: %v", sse.Err())
+		return ""
+	}
+	if first := readFrame(); first != fmt.Sprintf("{\"k\":\"hello\",\"job\":%q}", st.ID) {
+		t.Fatalf("first SSE frame %q", first)
+	}
+	close(ex.gate(st.ID))
+	if done := readFrame(); done != `{"k":"job-done","state":"done"}` {
+		t.Fatalf("done SSE frame %q", done)
+	}
+
+	// Result after completion.
+	waitState(t, q, st.ID, StateDone)
+	resp5, err := http.Get(srv.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp5.Body.Close()
+	var result struct {
+		Status *JobStatus `json:"status"`
+		Result *JobResult `json:"result"`
+	}
+	if err := json.NewDecoder(resp5.Body).Decode(&result); err != nil {
+		t.Fatal(err)
+	}
+	if result.Status.State != StateDone || result.Result == nil || result.Result.Kind != KindRun {
+		t.Fatalf("result payload: %+v / %+v", result.Status, result.Result)
+	}
+
+	// List includes the job.
+	resp6, err := http.Get(srv.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp6.Body.Close()
+	var list struct {
+		Jobs []*JobStatus `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp6.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != st.ID {
+		t.Fatalf("list: %+v", list.Jobs)
+	}
+}
+
+func TestServerCancelMidRun(t *testing.T) {
+	ex := newBlockingExecutor()
+	q := NewQueue(Config{Capacity: 4, Workers: 1}, ex.exec)
+	defer q.Shutdown()
+	srv := httptest.NewServer(NewServer(q))
+	defer srv.Close()
+
+	st := decodeStatus(t, postSpec(t, srv.URL, runSpec("to-cancel")))
+	<-ex.started
+	resp, err := http.Post(srv.URL+"/v1/jobs/"+st.ID+"/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d", resp.StatusCode)
+	}
+	got := waitState(t, q, st.ID, StateCanceled)
+	if got.Error == "" {
+		t.Fatal("canceled job must carry an error")
+	}
+}
+
+func TestServerBackpressure(t *testing.T) {
+	ex := newBlockingExecutor()
+	q := NewQueue(Config{Capacity: 1, Workers: 1}, ex.exec)
+	defer q.Shutdown()
+	srv := httptest.NewServer(NewServer(q))
+	defer srv.Close()
+
+	first := decodeStatus(t, postSpec(t, srv.URL, runSpec("running")))
+	<-ex.started
+	second := decodeStatus(t, postSpec(t, srv.URL, runSpec("queued")))
+
+	resp := postSpec(t, srv.URL, runSpec("overflow"))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 must carry Retry-After")
+	}
+	close(ex.gate(first.ID))
+	close(ex.gate(second.ID))
+}
+
+func TestServerRejectsBadSpecs(t *testing.T) {
+	q := NewQueue(Config{Capacity: 1, Workers: 1},
+		func(ctx context.Context, spec *JobSpec, jc *JobContext) (*JobResult, error) {
+			return nil, nil
+		})
+	defer q.Shutdown()
+	srv := httptest.NewServer(NewServer(q))
+	defer srv.Close()
+
+	for _, body := range []string{
+		`not json`,
+		`{"schema":"scalabletcc/job","version":9,"kind":"run"}`,
+		`{"schema":"scalabletcc/job","version":1,"kind":"run","run":{"app":"hotspot","procs":2},"bogus":1}`,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/v1/jobs/j000042")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status %d, want 404", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hz struct {
+		OK bool `json:"ok"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil || !hz.OK {
+		t.Fatalf("healthz: %v %v", hz, err)
+	}
+}

@@ -1,0 +1,165 @@
+package runner
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Checkpoint manifests make long jobs survive a daemon restart: a producer
+// (the sweep executor) appends one opaque JSONL entry per completed unit of
+// work, and on resume reads the entries back instead of recomputing them.
+// The file is line-oriented so a crash mid-write loses at most the final
+// partial line — every complete line is a durable unit.
+//
+// The first line is a versioned header binding the manifest to one job spec
+// (by hash): a manifest recorded under a different spec is ignored rather
+// than replayed, so an edited job recomputes from scratch instead of mixing
+// stale cells in.
+const (
+	// CheckpointSchema identifies the manifest document type.
+	CheckpointSchema = "scalabletcc/job-checkpoint"
+	// CheckpointVersion is bumped whenever a header or framing field
+	// changes meaning; entry payloads are opaque to this package.
+	CheckpointVersion = 1
+)
+
+// checkpointHeader is the manifest's first line.
+type checkpointHeader struct {
+	Schema   string `json:"schema"`
+	Version  int    `json:"version"`
+	Job      string `json:"job"`
+	SpecHash string `json:"spec_hash"`
+}
+
+// LoadCheckpoint reads the manifest at path and returns its entry lines
+// (without the header). A missing file returns (nil, nil): nothing to
+// resume. A manifest whose header fails validation or whose spec hash
+// differs from specHash also returns (nil, nil) — stale state is skipped,
+// not trusted — while an unreadable file is a real error. A trailing
+// partial line (crash mid-append) is dropped.
+func LoadCheckpoint(path, specHash string) ([][]byte, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("runner: read checkpoint: %w", err)
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	if len(data) == 0 || data[len(data)-1] != '\n' {
+		// The final line lacks its newline: an interrupted append. Drop it.
+		lines = lines[:len(lines)-1]
+	}
+	// Drop the empty tail element a trailing newline produces.
+	for len(lines) > 0 && len(lines[len(lines)-1]) == 0 {
+		lines = lines[:len(lines)-1]
+	}
+	if len(lines) == 0 {
+		return nil, nil
+	}
+	var hdr checkpointHeader
+	if err := json.Unmarshal(lines[0], &hdr); err != nil {
+		return nil, nil
+	}
+	if hdr.Schema != CheckpointSchema || hdr.Version != CheckpointVersion || hdr.SpecHash != specHash {
+		return nil, nil
+	}
+	entries := make([][]byte, 0, len(lines)-1)
+	for _, ln := range lines[1:] {
+		if len(ln) == 0 {
+			continue
+		}
+		if !json.Valid(ln) {
+			break // corruption: keep the valid prefix only
+		}
+		entries = append(entries, append([]byte(nil), ln...))
+	}
+	return entries, nil
+}
+
+// CheckpointWriter appends entries to a manifest. Append is safe for
+// concurrent use (sweep cells complete on worker goroutines) and flushes
+// each entry's line before returning, so a completed cell is durable the
+// moment Append returns.
+type CheckpointWriter struct {
+	mu  sync.Mutex
+	f   *os.File
+	w   *bufio.Writer
+	err error
+}
+
+// CreateCheckpoint truncates (or creates) the manifest at path and writes
+// the header binding it to (jobID, specHash).
+func CreateCheckpoint(path, jobID, specHash string) (*CheckpointWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("runner: create checkpoint: %w", err)
+	}
+	cw := &CheckpointWriter{f: f, w: bufio.NewWriter(f)}
+	if err := cw.appendJSON(checkpointHeader{
+		Schema: CheckpointSchema, Version: CheckpointVersion, Job: jobID, SpecHash: specHash,
+	}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return cw, nil
+}
+
+// AppendCheckpoint reopens an existing manifest for appending more entries
+// (the resume path keeps extending the same file).
+func AppendCheckpoint(path string) (*CheckpointWriter, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runner: open checkpoint: %w", err)
+	}
+	return &CheckpointWriter{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Append writes one entry line.
+func (cw *CheckpointWriter) Append(entry any) error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	return cw.appendJSON(entry)
+}
+
+// appendJSON marshals and writes one line; callers hold cw.mu (or own the
+// writer exclusively, as CreateCheckpoint does).
+func (cw *CheckpointWriter) appendJSON(v any) error {
+	if cw.err != nil {
+		return cw.err
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		cw.err = fmt.Errorf("runner: encode checkpoint entry: %w", err)
+		return cw.err
+	}
+	data = append(data, '\n')
+	if _, err := cw.w.Write(data); err == nil {
+		err = cw.w.Flush()
+	} else {
+		cw.err = err
+	}
+	if err != nil && cw.err == nil {
+		cw.err = err
+	}
+	return cw.err
+}
+
+// Close flushes and closes the manifest file.
+func (cw *CheckpointWriter) Close() error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	flushErr := cw.w.Flush()
+	closeErr := cw.f.Close()
+	if cw.err != nil {
+		return cw.err
+	}
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}

@@ -1,0 +1,320 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func runSpec(name string) *JobSpec {
+	s := NewJobSpec(KindRun)
+	s.Name = name
+	s.Run = &RunSpec{App: "hotspot", Procs: 2}
+	return s
+}
+
+// blockingExecutor runs jobs that block until released (or ctx cancel),
+// so tests can pin the queue in known states.
+type blockingExecutor struct {
+	mu      sync.Mutex
+	started chan string
+	release map[string]chan struct{}
+}
+
+func newBlockingExecutor() *blockingExecutor {
+	return &blockingExecutor{
+		started: make(chan string, 64),
+		release: make(map[string]chan struct{}),
+	}
+}
+
+func (b *blockingExecutor) gate(id string) chan struct{} {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ch, ok := b.release[id]
+	if !ok {
+		ch = make(chan struct{})
+		b.release[id] = ch
+	}
+	return ch
+}
+
+func (b *blockingExecutor) exec(ctx context.Context, spec *JobSpec, jc *JobContext) (*JobResult, error) {
+	b.started <- jc.ID
+	fmt.Fprintf(jc.Log, "{\"k\":\"hello\",\"job\":%q}\n", jc.ID)
+	select {
+	case <-b.gate(jc.ID):
+		return &JobResult{Kind: spec.Kind}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func waitState(t *testing.T, q *Queue, id, want string) *JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st, ok := q.Status(id)
+		if ok && st.State == want {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st, _ := q.Status(id)
+	t.Fatalf("job %s never reached %q (last: %+v)", id, want, st)
+	return nil
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	ex := newBlockingExecutor()
+	q := NewQueue(Config{Capacity: 2, Workers: 1}, ex.exec)
+	defer q.Shutdown()
+
+	// One running + two queued fills the queue.
+	first, err := q.Submit(runSpec("running"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-ex.started
+	var queued []*JobStatus
+	for i := 0; i < 2; i++ {
+		st, err := q.Submit(runSpec("queued"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, st)
+	}
+	if _, err := q.Submit(runSpec("overflow")); err != ErrQueueFull {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+	if d := q.QueueDepth(); d != 2 {
+		t.Fatalf("queue depth %d, want 2", d)
+	}
+
+	// Finishing the running job frees a slot.
+	close(ex.gate(first.ID))
+	waitState(t, q, first.ID, StateDone)
+	<-ex.started // next job picked up
+	if _, err := q.Submit(runSpec("fits-now")); err != nil {
+		t.Fatalf("submit after drain: %v", err)
+	}
+	for _, st := range queued {
+		close(ex.gate(st.ID))
+	}
+}
+
+func TestQueueCancelRunningAndQueued(t *testing.T) {
+	ex := newBlockingExecutor()
+	q := NewQueue(Config{Capacity: 4, Workers: 1}, ex.exec)
+	defer q.Shutdown()
+
+	running, _ := q.Submit(runSpec("running"))
+	<-ex.started
+	queued, _ := q.Submit(runSpec("queued"))
+
+	if err := q.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, q, queued.ID, StateCanceled)
+	if st.Finished == nil {
+		t.Fatal("canceled queued job must have a finish time")
+	}
+
+	if err := q.Cancel(running.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, running.ID, StateCanceled)
+	if err := q.Cancel("j999999"); err == nil {
+		t.Fatal("cancel of unknown job must error")
+	}
+	// The stream log must be closed for terminal jobs.
+	log, _ := q.Events(running.ID)
+	if _, closed := log.ReadFrom(0); !closed {
+		t.Fatal("canceled job's stream must be closed")
+	}
+}
+
+func TestQueueWallClockGuard(t *testing.T) {
+	ex := newBlockingExecutor()
+	q := NewQueue(Config{Capacity: 2, Workers: 1, JobTimeout: 20 * time.Millisecond}, ex.exec)
+	defer q.Shutdown()
+	st, _ := q.Submit(runSpec("wedged"))
+	<-ex.started
+	got := waitState(t, q, st.ID, StateFailed)
+	if !strings.Contains(got.Error, "wall-clock guard") {
+		t.Fatalf("want wall-clock error, got %q", got.Error)
+	}
+}
+
+func TestQueueValidateHook(t *testing.T) {
+	q := NewQueue(Config{
+		Capacity: 1, Workers: 1,
+		Validate: func(s *JobSpec) error {
+			if s.Run != nil && s.Run.App == "nope" {
+				return fmt.Errorf("unknown profile %q", s.Run.App)
+			}
+			return nil
+		},
+	}, func(ctx context.Context, spec *JobSpec, jc *JobContext) (*JobResult, error) {
+		return &JobResult{Kind: spec.Kind}, nil
+	})
+	defer q.Shutdown()
+	bad := runSpec("x")
+	bad.Run.App = "nope"
+	if _, err := q.Submit(bad); err == nil || !strings.Contains(err.Error(), "unknown profile") {
+		t.Fatalf("validator must gate admission, got %v", err)
+	}
+}
+
+func TestQueuePersistAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	ex := newBlockingExecutor()
+	q := NewQueue(Config{Capacity: 4, Workers: 1, StateDir: dir}, ex.exec)
+
+	done, _ := q.Submit(runSpec("finishes"))
+	<-ex.started
+	close(ex.gate(done.ID))
+	waitState(t, q, done.ID, StateDone)
+
+	running, _ := q.Submit(runSpec("interrupted"))
+	<-ex.started
+	queued, _ := q.Submit(runSpec("still-queued"))
+	q.Shutdown() // the "daemon restart"
+
+	if _, err := os.Stat(filepath.Join(dir, done.ID+".outcome.json")); err != nil {
+		t.Fatalf("finished job must persist an outcome: %v", err)
+	}
+
+	ex2 := newBlockingExecutor()
+	q2 := NewQueue(Config{Capacity: 4, Workers: 1, StateDir: dir}, ex2.exec)
+	defer q2.Shutdown()
+	ids, err := q2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{running.ID, queued.ID}
+	if len(ids) != 2 || ids[0] != want[0] || ids[1] != want[1] {
+		t.Fatalf("recovered %v, want %v", ids, want)
+	}
+	for _, id := range ids {
+		st, ok := q2.Status(id)
+		if !ok || !st.Resumed {
+			t.Fatalf("recovered job %s must be marked resumed: %+v", id, st)
+		}
+	}
+	// New IDs must not collide with recovered ones.
+	fresh, err := q2.Submit(runSpec("fresh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.ID == running.ID || fresh.ID == queued.ID {
+		t.Fatalf("fresh ID %s collides with recovered IDs", fresh.ID)
+	}
+	for _, id := range append(ids, fresh.ID) {
+		close(ex2.gate(id))
+	}
+}
+
+func TestStreamLogFollowsAndCloses(t *testing.T) {
+	l := NewStreamLog()
+	if _, err := l.Write([]byte("line1\n")); err != nil {
+		t.Fatal(err)
+	}
+	data, closed := l.ReadFrom(0)
+	if string(data) != "line1\n" || closed {
+		t.Fatalf("got %q closed=%v", data, closed)
+	}
+
+	got := make(chan string, 1)
+	go func() {
+		d, _, _ := l.Wait(context.Background(), len(data))
+		got <- string(d)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	l.Write([]byte("line2\n"))
+	if s := <-got; s != "line2\n" {
+		t.Fatalf("waiter saw %q", s)
+	}
+
+	l.Close()
+	if n, err := l.Write([]byte("dropped\n")); err != nil || n != 8 {
+		t.Fatalf("post-close write must succeed silently, got n=%d err=%v", n, err)
+	}
+	data, closed = l.ReadFrom(0)
+	if string(data) != "line1\nline2\n" || !closed {
+		t.Fatalf("final state %q closed=%v", data, closed)
+	}
+	// Wait at EOF of a closed stream returns immediately.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, closed, err := l.Wait(ctx, l.Len()); err != nil || !closed {
+		t.Fatalf("closed-stream wait: closed=%v err=%v", closed, err)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "job.ckpt.jsonl")
+	cw, err := CreateCheckpoint(path, "j000001", "abc123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type entry struct {
+		Index int `json:"index"`
+	}
+	for i := 0; i < 3; i++ {
+		if err := cw.Append(entry{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := LoadCheckpoint(path, "abc123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 || string(entries[1]) != `{"index":1}` {
+		t.Fatalf("entries: %q", entries)
+	}
+
+	// Wrong spec hash: stale manifest is ignored, not replayed.
+	if e, err := LoadCheckpoint(path, "different"); err != nil || e != nil {
+		t.Fatalf("stale manifest must be skipped, got %q err=%v", e, err)
+	}
+	// Missing file: nothing to resume.
+	if e, err := LoadCheckpoint(filepath.Join(t.TempDir(), "nope"), "x"); err != nil || e != nil {
+		t.Fatalf("missing manifest: %q err=%v", e, err)
+	}
+
+	// Crash mid-append: trailing partial line is dropped.
+	data, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, append(data, []byte(`{"index":3`)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err = LoadCheckpoint(path, "abc123")
+	if err != nil || len(entries) != 3 {
+		t.Fatalf("partial tail must be dropped: %d entries err=%v", len(entries), err)
+	}
+
+	// Resume path appends to the same manifest.
+	cw, err = AppendCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the partial tail is not possible with O_APPEND; the loader
+	// handles the interleaving by stopping at the first invalid line.
+	if err := cw.Append(entry{4}); err != nil {
+		t.Fatal(err)
+	}
+	cw.Close()
+	entries, _ = LoadCheckpoint(path, "abc123")
+	if len(entries) != 3 {
+		t.Fatalf("corrupt line must end the valid prefix, got %d entries", len(entries))
+	}
+}

@@ -1,0 +1,136 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+)
+
+// pinnedSpec is the frozen v1 wire form of a fully-populated run job. If
+// this test breaks, the schema changed: bump JobVersion, don't re-pin.
+const pinnedSpec = `{
+  "schema": "scalabletcc/job",
+  "version": 1,
+  "kind": "run",
+  "name": "pinned",
+  "run": {
+    "protocol": "tl2",
+    "app": "hotspot",
+    "procs": 8,
+    "scale": 0.25,
+    "seed": 7,
+    "machine": {
+      "hop_latency": 5,
+      "line_granularity": true,
+      "starve_retain": 0
+    },
+    "verify": true,
+    "sample_every": 1000,
+    "max_cycles": 500000
+  }
+}
+`
+
+func pinnedJobSpec() *JobSpec {
+	retain := 0
+	s := NewJobSpec(KindRun)
+	s.Name = "pinned"
+	s.Run = &RunSpec{
+		Protocol: "tl2", App: "hotspot", Procs: 8, Scale: 0.25, Seed: 7,
+		Machine:     &MachineSpec{HopLatency: 5, LineGranularity: true, StarveRetain: &retain},
+		Verify:      true,
+		SampleEvery: 1000, MaxCycles: 500000,
+	}
+	return s
+}
+
+func TestJobSpecPinnedBytes(t *testing.T) {
+	data, err := pinnedJobSpec().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != pinnedSpec {
+		t.Fatalf("job v1 wire form drifted:\n got: %s\nwant: %s", data, pinnedSpec)
+	}
+	back, err := DecodeJobSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	round, err := back.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(round) != pinnedSpec {
+		t.Fatalf("round-trip not byte-identical:\n got: %s", round)
+	}
+	if back.Run.Machine.StarveRetain == nil || *back.Run.Machine.StarveRetain != 0 {
+		t.Fatalf("StarveRetain=0 must survive the round trip, got %v", back.Run.Machine.StarveRetain)
+	}
+}
+
+func TestDecodeJobSpecRejectsUnknownField(t *testing.T) {
+	doc := strings.Replace(pinnedSpec, `"verify": true,`, `"verify": true, "frobnicate": 3,`, 1)
+	if _, err := DecodeJobSpec([]byte(doc)); err == nil ||
+		!strings.Contains(err.Error(), "frobnicate") {
+		t.Fatalf("unknown field must be rejected loudly, got %v", err)
+	}
+}
+
+func TestDecodeJobSpecVersionGate(t *testing.T) {
+	// A future version must fail on the version, even when it carries
+	// fields v1 does not know.
+	doc := `{"schema":"scalabletcc/job","version":2,"kind":"run","shiny_new_field":true}`
+	_, err := DecodeJobSpec([]byte(doc))
+	if err == nil || !strings.Contains(err.Error(), "version 2") {
+		t.Fatalf("want version-gate error, got %v", err)
+	}
+	doc = `{"schema":"something/else","version":1,"kind":"run"}`
+	if _, err := DecodeJobSpec([]byte(doc)); err == nil ||
+		!strings.Contains(err.Error(), "schema") {
+		t.Fatalf("want schema error, got %v", err)
+	}
+}
+
+func TestJobSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*JobSpec)
+		want string
+	}{
+		{"wrong kind payload", func(s *JobSpec) { s.Kind = KindSweep }, "matching payload"},
+		{"two payloads", func(s *JobSpec) { s.Sweep = &SweepSpec{} }, "matching payload"},
+		{"unknown kind", func(s *JobSpec) { s.Kind = "bake"; s.Run = nil }, "unknown job kind"},
+		{"no app", func(s *JobSpec) { s.Run.App = "" }, "needs an app"},
+		{"bad procs", func(s *JobSpec) { s.Run.Procs = 0 }, "procs"},
+		{"bad scale", func(s *JobSpec) { s.Run.Scale = -1 }, "scale"},
+	}
+	for _, tc := range cases {
+		s := pinnedJobSpec()
+		tc.mut(s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: want error containing %q, got %v", tc.name, tc.want, err)
+		}
+	}
+	fz := NewJobSpec(KindFuzz)
+	fz.Fuzz = &FuzzSpec{}
+	if err := fz.Validate(); err == nil || !strings.Contains(err.Error(), "duration_sec") {
+		t.Fatalf("fuzz duration must be required, got %v", err)
+	}
+}
+
+func TestJobSpecHashTracksContent(t *testing.T) {
+	a, err := pinnedJobSpec().Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := pinnedJobSpec().Hash()
+	if a != b {
+		t.Fatalf("hash not stable: %s vs %s", a, b)
+	}
+	changed := pinnedJobSpec()
+	changed.Run.Seed = 8
+	c, _ := changed.Hash()
+	if a == c {
+		t.Fatal("hash must change when the spec changes")
+	}
+}

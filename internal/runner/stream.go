@@ -1,0 +1,98 @@
+package runner
+
+import (
+	"context"
+	"sync"
+)
+
+// StreamLog is the append-only byte log a running job's event stream is
+// captured in. Writers append whole JSONL lines; any number of readers
+// follow from any offset, so an SSE subscriber that attaches mid-run
+// replays the prefix and then tails live appends. Concatenating everything
+// a reader sees reconstructs the exact bytes the writer produced — the
+// byte-identity the `scalabletcc/events v1` framing promises.
+//
+// Close marks the end of the stream; writes after Close are silently
+// dropped (an abandoned job goroutine may still be running — same policy
+// as harness and fuzz wall-clock guards).
+type StreamLog struct {
+	mu     sync.Mutex
+	buf    []byte
+	closed bool
+	notify chan struct{} // closed and replaced on every append/Close
+}
+
+// NewStreamLog returns an empty open log.
+func NewStreamLog() *StreamLog {
+	return &StreamLog{notify: make(chan struct{})}
+}
+
+// Write appends p. It never fails: after Close the bytes are discarded but
+// the write still reports success, so a late writer does not error out.
+func (l *StreamLog) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return len(p), nil
+	}
+	l.buf = append(l.buf, p...)
+	l.wake()
+	return len(p), nil
+}
+
+// Close marks the stream complete and wakes all waiting readers.
+func (l *StreamLog) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.closed {
+		l.closed = true
+		l.wake()
+	}
+}
+
+// wake broadcasts to waiters; callers hold l.mu.
+func (l *StreamLog) wake() {
+	close(l.notify)
+	l.notify = make(chan struct{})
+}
+
+// Len returns the number of bytes appended so far.
+func (l *StreamLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buf)
+}
+
+// ReadFrom returns a copy of the bytes from offset off onward and whether
+// the stream is complete. An offset at or beyond the end returns nil data.
+func (l *StreamLog) ReadFrom(off int) (data []byte, closed bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if off < len(l.buf) {
+		data = append([]byte(nil), l.buf[off:]...)
+	}
+	return data, l.closed
+}
+
+// Wait blocks until there are bytes beyond off, the stream closes, or ctx
+// is done, then returns the new bytes and the closed flag.
+func (l *StreamLog) Wait(ctx context.Context, off int) (data []byte, closed bool, err error) {
+	for {
+		l.mu.Lock()
+		if off < len(l.buf) || l.closed {
+			if off < len(l.buf) {
+				data = append([]byte(nil), l.buf[off:]...)
+			}
+			closed = l.closed
+			l.mu.Unlock()
+			return data, closed, nil
+		}
+		ch := l.notify
+		l.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+}

@@ -194,6 +194,15 @@ func (p *protoScalable) Run() (*ProtocolResults, error) {
 func (p *protoScalable) Observe(o Observer)      { p.sys.Observe(o) }
 func (p *protoScalable) AuditFinalMemory() error { return p.sys.AuditFinalMemory() }
 
+// EnableSampler and EnableConflictProfiler surface the scalable machine's
+// extra instrumentation through the ProtocolSystem interface; RunJob
+// discovers them via optional-interface assertion (they exist only on this
+// model, so other protocols correctly fail the assertion).
+func (p *protoScalable) EnableSampler(every uint64) error { return p.sys.EnableSampler(every) }
+func (p *protoScalable) EnableConflictProfiler() *ConflictProfiler {
+	return p.sys.EnableConflictProfiler()
+}
+
 // --- baseline (bus-based small-scale TCC) ---
 
 type protoBaseline struct{ sys *BaselineSystem }
