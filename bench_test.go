@@ -11,6 +11,7 @@
 package scalabletcc
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
@@ -248,6 +249,44 @@ func BenchmarkWriteBackCommit(b *testing.B) {
 		if i == 0 && len(rows) > 0 {
 			b.ReportMetric(rows[0].TrafficAmplification, "writethrough-traffic-x")
 		}
+	}
+}
+
+// BenchmarkShardedKernel measures the epoch-parallel kernel against the
+// sequential engine on a 64-processor hotspot run (the workload the sharding
+// work targets: one contended directory, every commit crossing the mesh).
+// "seq" is the sequential kernel (Shards = 0); the shardsN variants run the
+// same program on the epoch engine with N workers (the name avoids a
+// trailing -N, which bench-output parsers read as the GOMAXPROCS suffix).
+// Every shardsN variant
+// must report the same sim-cycles — worker-count independence is the
+// engine's contract — so the interesting spread is ns/op: the epoch
+// machinery's overhead at one worker, and whatever parallelism the host's
+// cores can redeem at four.
+func BenchmarkShardedKernel(b *testing.B) {
+	prof := tcc.MustProfile("hotspot").Scale(0.1)
+	for _, sh := range []int{0, 1, 4} {
+		name := "seq"
+		if sh > 0 {
+			name = fmt.Sprintf("shards%d", sh)
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := tcc.DefaultConfig(64)
+			cfg.Seed = 3
+			cfg.Shards = sh
+			prog := prof.Build(cfg.Procs, cfg.Seed)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				res, err := tcc.Run(cfg, prog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = uint64(res.Cycles)
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+		})
 	}
 }
 

@@ -16,7 +16,11 @@
 //	tccbench -exp all -verify
 //
 // Experiments: table1 table2 table3 fig6 fig7 fig8 fig9 protocols baseline
-// granularity probes writeback dircache all
+// granularity probes writeback scaling dircache all
+//
+// The scaling experiment sweeps the sharded simulation kernel's worker
+// count (-shards) over the -procs grid and reports wall-clock speedups;
+// its cells run sequentially so the timings are honest.
 //
 // The protocols experiment runs the head-to-head sweep across the protocol
 // registry (TCC, bus baseline, TL2 STM, eager HTM); -protocol narrows the
@@ -54,6 +58,7 @@ func main() {
 		verify   = flag.Bool("verify", false, "run the serializability oracle on every run")
 		protos   = flag.String("protocol", "", "comma-separated protocols for the head-to-head sweep (default: full registry; list prints it)")
 		hops     = flag.String("hops", "", "comma-separated cycles/hop for fig8 (default 1,2,4,8)")
+		shards   = flag.String("shards", "", "comma-separated worker counts for the scaling experiment (default 1,2,4,8)")
 		parallel = flag.Int("parallel", 0, "worker goroutines for independent runs (0 = GOMAXPROCS)")
 		jsonFlag = flag.Bool("json", false, "emit the machine-readable report (JSON)")
 		outFile  = flag.String("out", "", "write the JSON report to FILE (implies -json)")
@@ -134,6 +139,9 @@ func main() {
 		fatal(err)
 	}
 	if sw.Hops, err = cliflag.ParseInts(*hops); err != nil {
+		fatal(err)
+	}
+	if sw.Shards, err = cliflag.ParseInts(*shards); err != nil {
 		fatal(err)
 	}
 	if *timeout > 0 {

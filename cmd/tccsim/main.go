@@ -40,6 +40,7 @@ func main() {
 		gran     = flag.String("granularity", "word", "conflict detection granularity: word|line")
 		retain   = flag.Int("retain", 8, "violations before TID retention (0 disables)")
 		wt       = flag.Bool("writethrough", false, "ship data with commit marks instead of write-back")
+		shards   = flag.Int("shards", 0, "run the epoch-parallel sharded kernel with N workers (0 = sequential; results are worker-count independent)")
 		verify   = flag.Bool("verify", false, "check serializability of the commit log")
 		basel    = flag.Bool("baseline", false, "run the bus-based small-scale TCC instead")
 		tape     = flag.Bool("tape", false, "profile conflicts (TAPE): print the most damaging lines")
@@ -93,6 +94,9 @@ func main() {
 		if *sample > 0 {
 			exitOn(fmt.Errorf("-sample requires the scalable machine (drop -baseline)"))
 		}
+		if *shards > 0 {
+			exitOn(fmt.Errorf("-shards requires the scalable machine (drop -baseline)"))
+		}
 		// The bus machine takes only (app, procs, scale, seed, verify): the
 		// mesh knobs below have no bus equivalent, as ever.
 		spec.Run.Protocol = "baseline"
@@ -103,6 +107,7 @@ func main() {
 			LineGranularity: *gran == "line",
 			StarveRetain:    &r,
 			WriteThrough:    *wt,
+			Shards:          *shards,
 		}
 		spec.Run.Protocol = *protocol
 	}

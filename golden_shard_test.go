@@ -1,0 +1,152 @@
+package scalabletcc
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scalabletcc/tcc"
+)
+
+// The sharded-kernel golden fixture pins the epoch-parallel engine's
+// observable behaviour the same way testdata/golden.json pins the sequential
+// kernel's. The defining property of the sharded engine is worker-count
+// independence: the simulated outcome is a function of the epoch structure
+// (window = HopLatency) only, so every Shards >= 1 value must produce a
+// byte-identical run — same cycles, same statistics, same typed event stream
+// in the same order. The test replays each fixture cell at shard counts
+// 1/2/4/8 and requires all of them to match the recorded fingerprint
+// exactly; run under -race this also shakes out synchronization bugs in the
+// epoch barrier.
+//
+// Regenerate with:
+//
+//	go test -run TestGoldenShardFixture -update .
+const goldenShardPath = "testdata/golden_shard.json"
+
+// goldenShardCell is the recorded fingerprint of one sharded canonical run.
+// The shard counts replayed against it live in the test, not the fixture —
+// the whole point is that they all land on the same fingerprint.
+type goldenShardCell struct {
+	Name       string  `json:"name"`
+	App        string  `json:"app"`
+	Procs      int     `json:"procs"`
+	Scale      float64 `json:"scale"`
+	Seed       uint64  `json:"seed"`
+	Cycles     uint64  `json:"cycles"`
+	Commits    uint64  `json:"commits"`
+	Violations uint64  `json:"violations"`
+	Instr      uint64  `json:"instr"`
+	Bytes      uint64  `json:"bytes"`
+	Events     uint64  `json:"events"`
+	EventHash  string  `json:"event_hash"`
+}
+
+// runGoldenShardCell executes one canonical configuration on the sharded
+// engine with the given worker count and fills in the measured half.
+func runGoldenShardCell(t *testing.T, c goldenShardCell, shards int) goldenShardCell {
+	t.Helper()
+	prog := tcc.MustProfile(c.App).Scale(c.Scale).Build(c.Procs, c.Seed)
+	cfg := tcc.DefaultConfig(c.Procs)
+	cfg.Shards = shards
+	sys, err := tcc.NewSystem(cfg, prog)
+	if err != nil {
+		t.Fatalf("%s shards=%d: %v", c.Name, shards, err)
+	}
+	eh := newEventHasher()
+	sys.Observe(eh.observer())
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatalf("%s shards=%d: %v", c.Name, shards, err)
+	}
+	c.Cycles = uint64(res.Cycles)
+	c.Commits = res.Commits
+	c.Violations = res.Violations
+	c.Instr = res.Instr
+	c.Bytes = res.Traffic.TotalBytes()
+	c.Events = eh.n
+	c.EventHash = eh.sum()
+	return c
+}
+
+// goldenShardConfigs are the canonical sharded runs: a contended hotspot run
+// (heavy cross-node commit traffic through one home directory — the worst
+// case for merge ordering) and a locality-friendly barnes run (mostly
+// node-local work — the worst case for idle-shard handling).
+func goldenShardConfigs() []goldenShardCell {
+	return []goldenShardCell{
+		{Name: "shard-hotspot-16p", App: "hotspot", Procs: 16, Scale: 0.25, Seed: 3},
+		{Name: "shard-barnes-8p", App: "barnes", Procs: 8, Scale: 0.05, Seed: 1},
+	}
+}
+
+// goldenShardCounts are the worker counts every cell is replayed at. 1 is
+// the degenerate single-worker run of the epoch engine (not the sequential
+// kernel); 8 exceeds the smaller cell's natural parallelism.
+func goldenShardCounts() []int { return []int{1, 2, 4, 8} }
+
+func TestGoldenShardFixture(t *testing.T) {
+	var got []goldenShardCell
+	for _, c := range goldenShardConfigs() {
+		got = append(got, runGoldenShardCell(t, c, 1))
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenShardPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenShardPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", goldenShardPath)
+		return
+	}
+
+	buf, err := os.ReadFile(goldenShardPath)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update to create): %v", err)
+	}
+	var want []goldenShardCell
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("fixture has %d cells, run produced %d (regenerate with -update)", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Errorf("sharded golden cell %s diverged:\n  want %+v\n  got  %+v", want[i].Name, want[i], got[i])
+		}
+	}
+
+	// Worker-count independence: every shard count reproduces the shards=1
+	// fingerprint byte for byte. Procs must stay divisible by the count.
+	for i, c := range goldenShardConfigs() {
+		for _, n := range goldenShardCounts()[1:] {
+			if c.Procs%n != 0 {
+				continue
+			}
+			if r := runGoldenShardCell(t, c, n); r != got[i] {
+				t.Errorf("%s: shards=%d diverged from shards=1:\n  want %+v\n  got  %+v",
+					c.Name, n, got[i], r)
+			}
+		}
+	}
+}
+
+// TestGoldenShardReplayStable runs the contended cell twice at shards=4 and
+// requires identical fingerprints: epoch-parallel execution must not leak
+// scheduling nondeterminism into results even across goroutine lifetimes.
+func TestGoldenShardReplayStable(t *testing.T) {
+	c := goldenShardConfigs()[0]
+	a := runGoldenShardCell(t, c, 4)
+	b := runGoldenShardCell(t, c, 4)
+	if a != b {
+		t.Fatalf("same-seed sharded replay diverged:\n  %+v\n  %+v", a, b)
+	}
+}

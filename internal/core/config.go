@@ -77,6 +77,20 @@ type Config struct {
 	// MaxCycles aborts the run if the simulated clock passes it (deadlock
 	// watchdog); zero means no limit.
 	MaxCycles sim.Time
+
+	// Shards selects the execution engine. Zero (the default) runs the
+	// whole machine on one global timing wheel — the legacy sequential
+	// kernel, bit-identical to every previous release. A positive value
+	// runs the epoch-parallel sharded kernel with that many workers: each
+	// node owns a timing wheel, nodes advance in lockstep windows of
+	// HopLatency cycles, and cross-node effects merge deterministically at
+	// window boundaries. The simulated outcome depends only on the window
+	// structure, never on the worker count, so every Shards >= 1 value
+	// produces byte-identical results; the worker count is purely a
+	// wall-clock knob. Shards must tile the mesh: it is rejected unless it
+	// divides Procs evenly. Sharded runs do not support the sampler, TAPE
+	// profiling, or the invariant auditor.
+	Shards int
 }
 
 // DefaultConfig returns the paper's Table 2 machine for the given processor
@@ -121,6 +135,22 @@ func (c Config) Validate() error {
 	if !c.DeferredProbes && c.ReprobeDelay == 0 {
 		return fmt.Errorf("tcc: Config.ReprobeDelay must be positive with repeated probing, got %d",
 			c.ReprobeDelay)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("tcc: Config.Shards must be >= 0, got %d", c.Shards)
+	}
+	if c.Shards > 0 {
+		if c.Shards > c.Procs {
+			return fmt.Errorf("tcc: Config.Shards %d exceeds %d procs", c.Shards, c.Procs)
+		}
+		if c.Procs%c.Shards != 0 {
+			return fmt.Errorf("tcc: Config.Shards %d does not tile the %d-node mesh (non-divisible region split)",
+				c.Shards, c.Procs)
+		}
+		if c.Mesh.HopLatency < 1 {
+			return fmt.Errorf("tcc: Config.Shards requires Mesh.HopLatency >= 1 (the lookahead window), got %d",
+				c.Mesh.HopLatency)
+		}
 	}
 	return nil
 }

@@ -58,7 +58,10 @@ type ProcStats struct {
 // Sharing and Writing vectors, and the commit engine implementing the OCC
 // validation and commit phases.
 type Processor struct {
-	sys  *System
+	sys *System
+	// k is the kernel this processor's events run on: the global kernel in
+	// sequential mode, the node's own kernel under the sharded executor.
+	k    *sim.Kernel
 	id   int
 	prog workload.Program
 
@@ -118,6 +121,7 @@ func newProcessor(sys *System, id int, prog workload.Program) *Processor {
 	cfg := sys.cfg
 	return &Processor{
 		sys:        sys,
+		k:          sys.kernel,
 		id:         id,
 		prog:       prog,
 		cache:      cache.New(cfg.Geometry, cfg.L2Size, cfg.L2Ways),
@@ -174,7 +178,7 @@ func (p *Processor) start() {
 func (p *Processor) beginTx() {
 	if p.txIdx >= p.prog.TxCount(p.id, p.progPhase) {
 		p.phase = phBarrier
-		p.idleStart = p.sys.kernel.Now()
+		p.idleStart = p.k.Now()
 		p.sys.barrier.arrive(p.id)
 		return
 	}
@@ -187,7 +191,7 @@ func (p *Processor) beginTx() {
 func (p *Processor) startAttempt() {
 	p.phase = phRunning
 	p.opIdx = 0
-	p.txStart = p.sys.kernel.Now()
+	p.txStart = p.k.Now()
 	p.pendUseful = 0
 	p.pendMiss = 0
 	p.readSet.Reset()
@@ -240,7 +244,7 @@ func (p *Processor) step() {
 	case workload.Compute:
 		p.opIdx++
 		p.pendUseful += uint64(op.Cycles)
-		p.sys.kernel.PostAfter(sim.Time(op.Cycles), p, prStep, p.epoch, 0)
+		p.k.PostAfter(sim.Time(op.Cycles), p, prStep, p.epoch, 0)
 	case workload.Load:
 		p.doLoad(op.Addr)
 	case workload.Store:
@@ -274,7 +278,7 @@ func (p *Processor) doLoad(a mem.Addr) {
 			p.pendMiss += uint64(lat - 1)
 		}
 		p.opIdx++
-		p.sys.kernel.PostAfter(lat, p, prStep, p.epoch, 0)
+		p.k.PostAfter(lat, p, prStep, p.epoch, 0)
 		return
 	}
 	// Miss (or partially invalidated line): fetch from the home directory.
@@ -318,7 +322,7 @@ func (p *Processor) gcFill(base mem.Addr) {
 
 func (p *Processor) issueMiss(a mem.Addr, home int) {
 	p.phase = phWaitLoad
-	p.missStart = p.sys.kernel.Now()
+	p.missStart = p.k.Now()
 	p.missLine = p.sys.cfg.Geometry.Line(a)
 	if t := p.fillAt(p.missLine); t != nil && t.refill {
 		return // an out-of-band refill of this line is already in flight
@@ -385,18 +389,18 @@ func (p *Processor) onLoadResp(base mem.Addr, data []mem.Version) {
 	}
 	g := p.sys.cfg.Geometry
 	op := p.ops[p.opIdx]
-	p.pendMiss += uint64(p.sys.kernel.Now() - p.missStart)
+	p.pendMiss += uint64(p.k.Now() - p.missStart)
 	p.phase = phRunning
 	if op.Kind == workload.Load {
 		w := g.WordIndex(op.Addr)
 		p.finishLoad(line, w, op.Addr)
 		p.pendUseful++
 		p.opIdx++
-		p.sys.kernel.PostAfter(1, p, prStep, p.epoch, 0)
+		p.k.PostAfter(1, p, prStep, p.epoch, 0)
 		return
 	}
 	// Store-allocate fill: re-dispatch the store, which now hits.
-	p.sys.kernel.PostAfter(1, p, prStep, p.epoch, 0)
+	p.k.PostAfter(1, p, prStep, p.epoch, 0)
 }
 
 // fillLine installs or merges arriving line data. Merging never overwrites
@@ -503,7 +507,7 @@ func (p *Processor) doStore(a mem.Addr) {
 	p.cache.Track(line)
 	p.pendUseful++
 	p.opIdx++
-	p.sys.kernel.PostAfter(p.sys.cfg.L1Latency, p, prStep, p.epoch, 0)
+	p.k.PostAfter(p.sys.cfg.L1Latency, p, prStep, p.epoch, 0)
 }
 
 // disposeVictim handles a line evicted by a fill: committed-dirty data is
@@ -535,7 +539,7 @@ func (p *Processor) writeBackData(base mem.Addr, words bits.WordMask, data []mem
 	m.addr = base
 	m.t = p.lastTID
 	m.words = words
-	m.data = p.sys.copyLine(data)
+	m.data = p.sys.copyLine(p.id, data)
 	m.flag = remove
 	p.sys.sendMsg(i)
 }
@@ -550,7 +554,7 @@ func (p *Processor) writeBackData(base mem.Addr, words bits.WordMask, data []mem
 // beginValidation snapshots the write-set, then acquires a TID.
 func (p *Processor) beginValidation() {
 	p.phase = phValidating
-	p.commitStart = p.sys.kernel.Now()
+	p.commitStart = p.k.Now()
 
 	// Snapshot the write-set grouped by home directory.
 	p.cache.ForEachSpeculative(func(l *cache.Line) {
@@ -585,7 +589,7 @@ func (p *Processor) onTIDResp(t tid.TID) {
 		// The requesting attempt violated while the request was in flight.
 		p.tidDisposals--
 		p.skipAll(t, false)
-		p.sys.vendorRetire(t)
+		p.sys.vendorRetire(p.id, t)
 		return
 	}
 	if !p.waitingTID {
@@ -694,7 +698,7 @@ func (p *Processor) reprobe(d int, write bool) {
 	if write {
 		a2 |= 1
 	}
-	p.sys.kernel.PostAfter(p.sys.cfg.ReprobeDelay, p, prReprobe, p.epoch, a2)
+	p.k.PostAfter(p.sys.cfg.ReprobeDelay, p, prReprobe, p.epoch, a2)
 }
 
 // sendMarks pre-commits the write-set lines homed at directory d.
@@ -713,7 +717,7 @@ func (p *Processor) sendMarks(d int) {
 		if p.sys.cfg.WriteThroughCommit {
 			// Ship the final committed versions with the mark.
 			line := p.cache.Peek(wl.base)
-			data := p.sys.acquireBuf()
+			data := p.sys.acquireBuf(p.id)
 			for w := range data {
 				switch {
 				case wl.words.Has(w):
@@ -786,12 +790,12 @@ func (p *Processor) doCommit() {
 			p.disposeVictim(&vic)
 		}
 	}
-	p.sys.vendorRetire(t)
+	p.sys.vendorRetire(p.id, t)
 	if p.sys.aud != nil {
 		p.sys.aud.onTxBoundary(p)
 	}
 
-	now := p.sys.kernel.Now()
+	now := p.k.Now()
 	var instr uint64
 	for _, op := range p.ops {
 		if op.Kind == workload.Compute {
@@ -814,7 +818,7 @@ func (p *Processor) doCommit() {
 	p.tid = tid.None
 	p.epoch++
 	p.txIdx++
-	p.sys.kernel.PostAfter(1, p, prBeginTx, 0, 0)
+	p.k.PostAfter(1, p, prBeginTx, 0, 0)
 }
 
 // ---------------------------------------------------------------------------
@@ -895,7 +899,7 @@ func (p *Processor) applyInv(fromDir int, line *cache.Line, base mem.Addr, words
 // directories as needed, rolls back the cache, accounts the wasted time,
 // and restarts.
 func (p *Processor) violateOn(cause mem.Addr, committer tid.TID) {
-	now := p.sys.kernel.Now()
+	now := p.k.Now()
 	if p.sys.tape != nil {
 		p.sys.tape.RecordViolation(cause, p.id, committer, uint64(now-p.txStart))
 		p.sys.tape.RecordStreak(p.id, uint64(p.attempt)+1)
@@ -925,7 +929,7 @@ func (p *Processor) violateOn(cause mem.Addr, committer tid.TID) {
 			m.t = t
 			p.sys.sendMsg(i)
 		}
-		p.sys.vendorRetire(t)
+		p.sys.vendorRetire(p.id, t)
 	default:
 		// An early (starvation-mitigation) TID was granted and validation
 		// never started: no directory has heard anything about it, so it can
@@ -944,7 +948,7 @@ func (p *Processor) violateOn(cause mem.Addr, committer tid.TID) {
 	if !p.keepTID {
 		p.tid = tid.None
 	}
-	p.sys.kernel.PostAfter(p.sys.cfg.ViolationRestartCost, p, prStartAttempt, p.epoch, 0)
+	p.k.PostAfter(p.sys.cfg.ViolationRestartCost, p, prStartAttempt, p.epoch, 0)
 }
 
 // onFlushReq serves a directory's data request for an owned line: flush the
@@ -965,7 +969,7 @@ func (p *Processor) onFlushReq(fromDir int, base mem.Addr) {
 	line.OW = 0
 	i, m := p.sys.newMsg(MsgFlushResp, p.id, fromDir)
 	m.addr = base
-	m.data = p.sys.copyLine(line.Data)
+	m.data = p.sys.copyLine(p.id, line.Data)
 	p.sys.sendMsg(i)
 }
 
@@ -984,7 +988,7 @@ func (p *Processor) onFlushInv(fromDir int, base mem.Addr, committer tid.TID, wo
 	m.addr = base
 	m.words = oldOW
 	if line != nil && line.Dirty {
-		m.data = p.sys.copyLine(line.Data)
+		m.data = p.sys.copyLine(p.id, line.Data)
 	}
 	p.sys.sendMsg(i)
 
@@ -1001,12 +1005,12 @@ func (p *Processor) onFlushInv(fromDir int, base mem.Addr, committer tid.TID, wo
 
 // onBarrierRelease resumes the processor after a phase barrier.
 func (p *Processor) onBarrierRelease() {
-	p.stats.Breakdown.Add(stats.Idle, uint64(p.sys.kernel.Now()-p.idleStart))
+	p.stats.Breakdown.Add(stats.Idle, uint64(p.k.Now()-p.idleStart))
 	p.progPhase++
 	p.txIdx = 0
 	if p.progPhase >= p.prog.Phases() {
 		p.phase = phDone
-		p.sys.procDone()
+		p.sys.procDone(p.id)
 		return
 	}
 	p.beginTx()

@@ -34,6 +34,17 @@ type System struct {
 	dirs    []*Directory
 	barrier *barrier
 
+	// Sharded execution (Config.Shards >= 1): one kernel and one port per
+	// node. ports == nil selects the sequential engine; every cross-node
+	// choke point below branches on it. See shard.go.
+	ports  []*nodePort
+	nodeKs []sim.Kernel
+	// Merge-phase scratch: the (typically few) ports that captured sends or
+	// observer events in the current window, rebuilt each merge so the
+	// per-cycle replay loops never sweep the full port set (see mergeWindow).
+	mergeSend  []*nodePort
+	mergeEvent []*nodePort
+
 	vendor     *tid.Vendor
 	vendorNode int
 
@@ -111,6 +122,16 @@ func NewSystem(cfg Config, prog workload.Program) (*System, error) {
 		s.procs[i] = newProcessor(s, i, prog)
 	}
 	prog.PreMap(s.addrMap)
+	if cfg.Shards > 0 {
+		s.nodeKs = make([]sim.Kernel, cfg.Procs)
+		s.ports = make([]*nodePort, cfg.Procs)
+		for i := 0; i < cfg.Procs; i++ {
+			s.ports[i] = &nodePort{sys: s, node: i, k: &s.nodeKs[i]}
+			s.procs[i].k = s.ports[i].k
+			s.dirs[i].k = s.ports[i].k
+		}
+		s.premapProgram()
+	}
 	return s, nil
 }
 
@@ -148,8 +169,17 @@ func (s *System) Observer() obs.Observer { return s.obsv }
 
 // emit stamps the current cycle on e and hands it to the observer. Callers
 // must nil-check s.obsv first so event construction stays off the
-// no-observer hot path.
+// no-observer hot path. Every emission site sets e.Node to the executing
+// node, which is what lets the sharded engine route the event to that
+// node's buffer (flushed in canonical order at the window boundary) and
+// stamp it from that node's clock.
 func (s *System) emit(e obs.Event) {
+	if s.ports != nil {
+		np := s.ports[e.Node]
+		e.Cycle = uint64(np.k.Now())
+		np.events = append(np.events, e)
+		return
+	}
 	e.Cycle = uint64(s.kernel.Now())
 	s.obsv.Event(e)
 }
@@ -248,16 +278,38 @@ func (s *System) vendorIssue(requester int) {
 	s.sendMsg(i)
 }
 
-func (s *System) vendorRetire(t tid.TID) { s.vendor.Retire(t) }
+// vendorRetire retires a TID on behalf of the executing node. Sequentially
+// it applies immediately; under the sharded engine the vendor's map belongs
+// to node 0's parallel-phase context, so other nodes defer the retirement
+// to the window merge (retire order is commutative — TIDs are unique and
+// never reissued).
+func (s *System) vendorRetire(node int, t tid.TID) {
+	if s.ports != nil {
+		np := s.ports[node]
+		np.retires = append(np.retires, t)
+		return
+	}
+	s.vendor.Retire(t)
+}
 
 func (s *System) logCommit(r CommitRecord) {
-	if s.collectLog {
-		s.commitLog = append(s.commitLog, r)
+	if !s.collectLog {
+		return
 	}
+	if s.ports != nil {
+		np := s.ports[r.Proc]
+		np.commitLog = append(np.commitLog, r)
+		return
+	}
+	s.commitLog = append(s.commitLog, r)
 }
 
 // noteCommit aggregates the Table 3 fingerprint of a committed transaction.
 func (s *System) noteCommit(p *Processor, instr uint64) {
+	if s.ports != nil {
+		s.ports[p.id].noteCommit(p, instr)
+		return
+	}
 	s.totalCommits++
 	s.committedInstr += instr
 	s.txInstrH.Add(instr)
@@ -275,9 +327,21 @@ func (s *System) noteCommit(p *Processor, instr uint64) {
 	s.dirsTouchedH.Add(uint64(s.touched.Count()))
 }
 
-func (s *System) noteViolation(*Processor) { s.totalViolations++ }
+func (s *System) noteViolation(p *Processor) {
+	if s.ports != nil {
+		s.ports[p.id].violations++
+		return
+	}
+	s.totalViolations++
+}
 
-func (s *System) procDone() { s.running-- }
+func (s *System) procDone(node int) {
+	if s.ports != nil {
+		s.ports[node].done++
+		return
+	}
+	s.running--
+}
 
 // barrier is the inter-phase barrier manager; idle time is accounted at the
 // waiting processors.
@@ -287,16 +351,23 @@ type barrier struct {
 }
 
 func (b *barrier) arrive(node int) {
-	if s := b.sys; s.obsv != nil {
+	s := b.sys
+	if s.obsv != nil {
 		s.emit(obs.Event{Kind: obs.KBarrier, Node: node, Peer: -1, Arg: int64(s.procs[node].progPhase)})
 	}
+	if s.ports != nil {
+		// Arrival counts are commutative; the window merge tallies them and
+		// posts the releases at the window boundary.
+		s.ports[node].barriers++
+		return
+	}
 	b.arrived++
-	if b.arrived < b.sys.cfg.Procs {
+	if b.arrived < s.cfg.Procs {
 		return
 	}
 	b.arrived = 0
-	for _, p := range b.sys.procs {
-		b.sys.kernel.PostAfter(1, p, prBarrierRelease, 0, 0)
+	for _, p := range s.procs {
+		s.kernel.PostAfter(1, p, prBarrierRelease, 0, 0)
 	}
 }
 
@@ -376,6 +447,9 @@ func (r *Results) ClassBytesPerInstr(c mesh.Class) float64 {
 // the watchdog expires or the simulation wedges (an event-drained kernel
 // with unfinished processors indicates a protocol deadlock).
 func (s *System) Run() (*Results, error) {
+	if s.ports != nil {
+		return s.runSharded()
+	}
 	s.running = s.cfg.Procs
 	for _, p := range s.procs {
 		s.kernel.Post(0, p, prStart, 0, 0)

@@ -43,6 +43,7 @@ type Options struct {
 	Seed         uint64   // simulation seed (must be >= 1)
 	Verify       bool     // run the serializability oracle on every run
 	HopLatencies []int    // Figure 8 sweep; empty = {1, 2, 4, 8}
+	Shards       []int    // scaling-experiment worker counts; empty = {1, 2, 4, 8}
 
 	// Parallel is the number of worker goroutines independent simulations
 	// are fanned across; 1 runs the matrix sequentially.
@@ -136,6 +137,14 @@ func (o *Options) Normalize() error {
 			return fmt.Errorf("experiments: hop latency %d is invalid", h)
 		}
 	}
+	if len(o.Shards) == 0 {
+		o.Shards = []int{1, 2, 4, 8}
+	}
+	for _, s := range o.Shards {
+		if s < 1 {
+			return fmt.Errorf("experiments: shard count %d is invalid", s)
+		}
+	}
 	return nil
 }
 
@@ -204,12 +213,16 @@ func (j Job) protocol() string {
 
 // RunResult is one executed Job; exactly one of Results/Baseline/Proto is
 // non-nil. Events holds per-kind protocol-event totals when
-// Options.CountEvents is set.
+// Options.CountEvents is set. Wall is the cell's wall-clock time, set only
+// by experiments that run their cells sequentially (the scaling study) —
+// under a parallel matrix, per-cell wall time measures scheduler contention,
+// not the cell.
 type RunResult struct {
 	Results  *tcc.Results
 	Baseline *tcc.BaselineResults
 	Proto    *tcc.ProtocolResults
 	Events   map[string]uint64
+	Wall     time.Duration
 }
 
 func (r RunResult) summary() tcc.Summary {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"scalabletcc/internal/mesh"
 	"scalabletcc/tcc"
@@ -46,6 +47,10 @@ type Cell struct {
 	// (experiment, app, machine) series — the 1-processor run in fig7,
 	// the 1-cycle-per-hop run in fig8, the unbounded cache in dircache.
 	SpeedupVsBase float64 `json:"speedup_vs_base"`
+	// WallMS is the cell's wall-clock time in milliseconds, present only for
+	// experiments that run cells sequentially and time them (the scaling
+	// study). Additive: ReportVersion is unchanged.
+	WallMS float64 `json:"wall_ms,omitempty"`
 	// Summary carries cycles, instructions, commits, violations, and the
 	// breakdown fractions in the versioned tcc.Summary wire form.
 	Summary tcc.Summary `json:"summary"`
@@ -94,6 +99,9 @@ func cellParts(experiment string, j Job, out RunResult) Cell {
 		Config:     j.Knobs,
 		Summary:    s,
 		Events:     out.Events,
+	}
+	if out.Wall > 0 {
+		c.WallMS = float64(out.Wall) / float64(time.Millisecond)
 	}
 	if res := out.Results; res != nil {
 		c.Traffic = &Traffic{

@@ -118,6 +118,14 @@ func Registry() []Experiment {
 			PrintWriteBack(w, rows)
 			return nil
 		}, writebackJobs},
+		{"scaling", "sharded-kernel wall-clock scaling (procs x shards)", func(o Options, w io.Writer) error {
+			cells, err := Scaling(o)
+			if err != nil {
+				return err
+			}
+			PrintScaling(w, cells)
+			return nil
+		}, scalingJobs},
 		{"dircache", "directory-cache capacity (A5)", func(o Options, w io.Writer) error {
 			rows, err := DirCache(o)
 			if err != nil {

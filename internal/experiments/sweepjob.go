@@ -75,6 +75,11 @@ func validateSweepSpec(spec *runner.JobSpec) error {
 			return fmt.Errorf("experiments: hop latency %d is invalid", h)
 		}
 	}
+	for _, s := range sw.Shards {
+		if s < 1 {
+			return fmt.Errorf("experiments: shard count %d is invalid", s)
+		}
+	}
 	if sw.MaxProcs < 0 || sw.Scale < 0 || sw.Parallel < 0 || sw.TimeoutMS < 0 {
 		return fmt.Errorf("experiments: sweep spec numeric fields must be non-negative")
 	}
@@ -89,6 +94,7 @@ func sweepOptions(sw *runner.SweepSpec) Options {
 	o.Protocols = sw.Protocols
 	o.Procs = append([]int(nil), sw.Procs...)
 	o.HopLatencies = append([]int(nil), sw.Hops...)
+	o.Shards = append([]int(nil), sw.Shards...)
 	if sw.MaxProcs > 0 {
 		o.MaxProcs = sw.MaxProcs
 	}
@@ -133,6 +139,7 @@ type ckptCell struct {
 	Protocol   string          `json:"protocol"`
 	Config     json.RawMessage `json:"config,omitempty"`
 	Cycles     uint64          `json:"cycles"`
+	WallMS     float64         `json:"wall_ms,omitempty"`
 	Summary    json.RawMessage `json:"summary"`
 	Traffic    json.RawMessage `json:"traffic,omitempty"`
 	Events     json.RawMessage `json:"events,omitempty"`
@@ -150,6 +157,7 @@ func checkpointEntry(experiment string, index int, j Job, out RunResult) (ckptCe
 		Machine:    c.Machine,
 		Protocol:   c.Protocol,
 		Cycles:     c.Summary.Cycles,
+		WallMS:     c.WallMS,
 	}
 	var err error
 	if len(c.Config) > 0 {
@@ -184,6 +192,7 @@ type rawCell struct {
 	Protocol      string          `json:"protocol"`
 	Config        json.RawMessage `json:"config,omitempty"`
 	SpeedupVsBase float64         `json:"speedup_vs_base"`
+	WallMS        float64         `json:"wall_ms,omitempty"`
 	Summary       json.RawMessage `json:"summary"`
 	Traffic       json.RawMessage `json:"traffic,omitempty"`
 	Events        json.RawMessage `json:"events,omitempty"`
@@ -376,6 +385,7 @@ func resumeSweep(ctx context.Context, sw *runner.SweepSpec, ckptPath string,
 				Machine:    c.Machine,
 				Protocol:   c.Protocol,
 				Config:     c.Config,
+				WallMS:     c.WallMS,
 				Summary:    c.Summary,
 				Traffic:    c.Traffic,
 				Events:     c.Events,

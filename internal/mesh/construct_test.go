@@ -1,0 +1,68 @@
+package mesh
+
+import (
+	"runtime"
+	"testing"
+
+	"scalabletcc/internal/sim"
+)
+
+// meshConstructBytes measures the heap bytes allocated constructing one
+// network of the given node count.
+func meshConstructBytes(nodes int) uint64 {
+	cfg := DefaultConfig(nodes)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	var k sim.Kernel
+	n := New(&k, nodes, cfg)
+	runtime.ReadMemStats(&after)
+	runtime.KeepAlive(n)
+	return after.TotalAlloc - before.TotalAlloc
+}
+
+// TestConstructionCostLinear guards the large-mesh construction footprint:
+// building a network must cost O(N) space in the node count. The old
+// precomputed (position, destination) next-hop table was O(N^2) — ~1 MB
+// for a 32x32 mesh, ~16 MB for 64x64 — which made 256-1024-node machines
+// (and the sharded-kernel scaling study over them) needlessly expensive to
+// stand up, especially across many experiment cells.
+func TestConstructionCostLinear(t *testing.T) {
+	small := meshConstructBytes(1024) // 32x32
+	big := meshConstructBytes(4096)   // 64x64
+
+	// O(N): the ratio tracks the 4x node growth (plus constant noise).
+	// O(N^2) routing tables would push it toward 16x.
+	if big > small*8 {
+		t.Fatalf("construction cost grows superlinearly: %d nodes = %d B, %d nodes = %d B (%.1fx)",
+			1024, small, 4096, big, float64(big)/float64(small))
+	}
+	// Absolute guard: a 1024-node mesh is four link arrays plus per-node
+	// counters — far under the ~1 MB the quadratic table alone cost.
+	if small > 512<<10 {
+		t.Fatalf("1024-node mesh construction allocated %d B, want well under 512 KiB", small)
+	}
+}
+
+// TestArithmeticRoutingMatchesHops checks the per-hop walk against the
+// closed-form hop count on every (src, dst) pair of asymmetric grid and
+// torus meshes — the walk must terminate in exactly Hops(src, dst) steps.
+func TestArithmeticRoutingMatchesHops(t *testing.T) {
+	for _, torus := range []bool{false, true} {
+		nodes := 23 // 5x5 grid, 2 unused positions: exercises non-square walks
+		cfg := DefaultConfig(nodes)
+		cfg.Torus = torus
+		var k sim.Kernel
+		n := New(&k, nodes, cfg)
+		for src := 0; src < nodes; src++ {
+			for dst := 0; dst < nodes; dst++ {
+				before := n.hopsTotal
+				n.RouteAt(0, src, dst, 8, ClassMiss)
+				got := int(n.hopsTotal - before)
+				if want := n.Hops(src, dst); got != want {
+					t.Fatalf("torus=%v %d->%d: walked %d hops, want %d", torus, src, dst, got, want)
+				}
+			}
+		}
+	}
+}

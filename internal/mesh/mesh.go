@@ -95,17 +95,12 @@ type Network struct {
 	k   *sim.Kernel
 	cfg Config
 	// links[dir][node] is the directed link leaving node in direction dir.
+	// Node ids are row-major grid positions, but intermediate hops can pass
+	// through grid positions beyond the node count (a non-square machine on
+	// a near-square grid), so links are indexed by grid position.
 	links [4][]link
 
-	// Precomputed XY routing. nextDir[pos*nodes+dst] is the outgoing
-	// direction at grid position pos toward destination node dst, and
-	// neighbor[dir][pos] is the grid position one hop away. Node ids are
-	// row-major grid positions, but intermediate hops can pass through grid
-	// positions beyond the node count (a non-square machine on a near-square
-	// grid), so the tables are indexed by grid position.
-	nodes    int
-	nextDir  []uint8
-	neighbor [4][]int32
+	nodes int
 
 	bytesByClass [NumClasses]uint64
 	msgsByClass  [NumClasses]uint64
@@ -135,45 +130,7 @@ func New(k *sim.Kernel, nodes int, cfg Config) *Network {
 	for d := range n.links {
 		n.links[d] = make([]link, gridN)
 	}
-	n.buildRoutes(gridN)
 	return n
-}
-
-// buildRoutes precomputes the per-hop routing decision for every (grid
-// position, destination node) pair, so the per-message hop walk is pure
-// table lookups.
-func (n *Network) buildRoutes(gridN int) {
-	n.nextDir = make([]uint8, gridN*n.nodes)
-	for d := range n.neighbor {
-		n.neighbor[d] = make([]int32, gridN)
-	}
-	w, h := n.cfg.Width, n.cfg.Height
-	for pos := 0; pos < gridN; pos++ {
-		x, y := pos%w, pos/w
-		n.neighbor[dirEast][pos] = int32(y*w + (x+1)%w)
-		n.neighbor[dirWest][pos] = int32(y*w + (x-1+w)%w)
-		n.neighbor[dirNorth][pos] = int32(((y+1)%h)*w + x)
-		n.neighbor[dirSouth][pos] = int32(((y-1+h)%h)*w + x)
-		for dst := 0; dst < n.nodes; dst++ {
-			dx, dy := n.Coord(dst)
-			var dir uint8
-			switch {
-			case x != dx:
-				if n.dimStep(x, dx, w) == (x+1)%w {
-					dir = dirEast
-				} else {
-					dir = dirWest
-				}
-			case y != dy:
-				if n.dimStep(y, dy, h) == (y+1)%h {
-					dir = dirNorth
-				} else {
-					dir = dirSouth
-				}
-			}
-			n.nextDir[pos*n.nodes+dst] = dir
-		}
-	}
 }
 
 // Coord returns the grid coordinates of a node.
@@ -225,26 +182,58 @@ func abs(v int) int {
 }
 
 // route performs the traffic accounting and the hop-by-hop link walk for one
-// message and returns its arrival time at dst. Shared by the closure and
-// typed send forms; it allocates nothing.
+// message injected now and returns its arrival time at dst.
 func (n *Network) route(src, dst, bytes int, class Class) sim.Time {
+	return n.RouteAt(n.k.Now(), src, dst, bytes, class)
+}
+
+// RouteAt performs the traffic accounting and the hop-by-hop link walk for
+// one message injected at time now and returns its arrival time at dst. It
+// allocates nothing. The explicit injection time exists for the sharded
+// executor, whose merge phase replays an epoch's cross-node sends serially
+// in canonical order after the senders have already advanced past their
+// send times; with messages replayed in nondecreasing time order the link
+// reservations are identical to an inline walk.
+//
+// The per-hop direction is computed arithmetically (XY order, shortest way
+// around on a torus) rather than from a precomputed (position, destination)
+// table: the table was O(grid * nodes) space — 1 MB for a 32x32 mesh and
+// growing quadratically — for a lookup that is two compares and a modular
+// increment.
+func (n *Network) RouteAt(now sim.Time, src, dst, bytes int, class Class) sim.Time {
 	n.bytesByClass[class] += uint64(bytes)
 	n.msgsByClass[class]++
 	n.perNodeBytes[src] += uint64(bytes)
 
 	if src == dst {
-		return n.k.Now() + n.cfg.LocalLatency
+		return now + n.cfg.LocalLatency
 	}
 
 	occupancy := sim.Time((bytes + n.cfg.LinkBytes - 1) / n.cfg.LinkBytes)
 	if occupancy < 1 {
 		occupancy = 1
 	}
-	t := n.k.Now()
-	pos := src
-	for pos != dst {
-		d := n.nextDir[pos*n.nodes+dst]
-		l := &n.links[d][pos]
+	w, h := n.cfg.Width, n.cfg.Height
+	x, y := src%w, src/w
+	dx, dy := n.Coord(dst)
+	t := now
+	for x != dx || y != dy {
+		var d int
+		nx, ny := x, y
+		if x != dx {
+			if n.dimStep(x, dx, w) == (x+1)%w {
+				d, nx = dirEast, (x+1)%w
+			} else {
+				d, nx = dirWest, (x-1+w)%w
+			}
+		} else {
+			if n.dimStep(y, dy, h) == (y+1)%h {
+				d, ny = dirNorth, (y+1)%h
+			} else {
+				d, ny = dirSouth, (y-1+h)%h
+			}
+		}
+		l := &n.links[d][y*w+x]
 		start := t
 		if l.nextFree > start {
 			start = l.nextFree
@@ -252,7 +241,7 @@ func (n *Network) route(src, dst, bytes int, class Class) sim.Time {
 		l.nextFree = start + occupancy
 		l.busy += occupancy
 		t = start + n.cfg.HopLatency
-		pos = int(n.neighbor[d][pos])
+		x, y = nx, ny
 		n.hopsTotal++
 	}
 	arrival := t + occupancy // tail of the message drains at the destination

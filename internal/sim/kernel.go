@@ -360,6 +360,23 @@ func (k *Kernel) RunUntil(deadline Time) bool {
 	}
 }
 
+// RunWindow executes events with at-time <= deadline, like RunUntil, but
+// never advances the clock past the last executed event: a drained kernel
+// keeps now at the last dispatched cycle, so Now() reads as "time of the
+// last event here", not "end of the last window". The epoch-parallel
+// executor (ShardExec) relies on this — the maximum Now() across kernels
+// after a run is then the global last-event cycle, independent of how the
+// run was cut into windows.
+func (k *Kernel) RunWindow(deadline Time) {
+	for {
+		t, ok := k.peekTime()
+		if !ok || t > deadline {
+			return
+		}
+		k.StepCycle()
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Overflow level: an inlined 4-ary min-heap on (at, seq) for events beyond
 // the wheel horizon. The wider fan-out halves the sift depth of a binary

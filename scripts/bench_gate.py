@@ -3,9 +3,10 @@
 
 Parses `go test -bench` output (one or more files, already -benchmem) and
 compares the best (minimum) ns/op per benchmark against the recorded
-baselines: the `after` block of BENCH_protocols_gate.json (the per-protocol
-simulator baselines), then BENCH_wheel.json, falling back to the `after`
-block of BENCH_hotpath.json. Fails on
+baselines: the `after` blocks of BENCH_wheel.json (kernel/mesh hot paths),
+BENCH_protocols_gate.json (per-protocol simulator baselines), and
+BENCH_shard.json (sequential vs epoch-parallel kernel), falling back to the
+`after` block of BENCH_hotpath.json. Fails on
 
   * ns/op more than THRESHOLD (default 15%) above the baseline, or
   * any allocation on the zero-alloc hot paths (kernel post/step, mesh send).
@@ -38,9 +39,10 @@ LINE = re.compile(
 def load_baselines():
     """Load recorded baselines, failing loudly on anything unexpected.
 
-    BENCH_wheel.json (kernel/mesh hot paths) and BENCH_protocols_gate.json
-    (per-protocol simulator runs) are REQUIRED: silently skipping a missing
-    or malformed file would turn the gate into a no-op that reports every
+    BENCH_wheel.json (kernel/mesh hot paths), BENCH_protocols_gate.json
+    (per-protocol simulator runs), and BENCH_shard.json (sequential vs
+    epoch-parallel kernel) are REQUIRED: silently skipping a missing or
+    malformed file would turn the gate into a no-op that reports every
     benchmark as "informational" and passes. Only BENCH_hotpath.json (a
     superseded earlier baseline) is optional, and even it must parse if
     present. Later files win where names collide.
@@ -50,6 +52,7 @@ def load_baselines():
         ("BENCH_hotpath.json", False),
         ("BENCH_wheel.json", True),
         ("BENCH_protocols_gate.json", True),
+        ("BENCH_shard.json", True),
     ):
         path = os.path.join(REPO, name)
         if not os.path.exists(path):

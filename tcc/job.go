@@ -269,6 +269,9 @@ func runConfig(r *RunSpec) Config {
 		if m.StarveRetain != nil {
 			c.StarveRetainAfter = *m.StarveRetain
 		}
+		if m.Shards != 0 {
+			c.Shards = m.Shards
+		}
 		c.Torus = m.Torus
 		c.LineGranularity = m.LineGranularity
 		c.RepeatedProbing = m.RepeatedProbing

@@ -203,6 +203,18 @@ func (p *protoScalable) EnableConflictProfiler() *ConflictProfiler {
 	return p.sys.EnableConflictProfiler()
 }
 
+// rejectShards reports the sharded-engine request as unsupported for the
+// named protocol. Only the scalable directory machine runs on the
+// epoch-parallel executor; the other models would silently drop the knob,
+// and a knob that silently does nothing is worse than an error.
+func rejectShards(protocol string, cfg Config) error {
+	if cfg.Shards != 0 {
+		return fmt.Errorf("%s: Config.Shards is only supported by the tcc protocol, got %d",
+			protocol, cfg.Shards)
+	}
+	return nil
+}
+
 // --- baseline (bus-based small-scale TCC) ---
 
 type protoBaseline struct{ sys *BaselineSystem }
@@ -223,6 +235,9 @@ func baselineFromConfig(c Config) BaselineConfig {
 }
 
 func buildBaselineProto(cfg Config, prog Program) (ProtocolSystem, error) {
+	if err := rejectShards("baseline", cfg); err != nil {
+		return nil, err
+	}
 	sys, err := NewBaselineSystem(baselineFromConfig(cfg), prog)
 	if err != nil {
 		return nil, err
@@ -266,6 +281,9 @@ func tl2FromConfig(c Config) tl2.Config {
 }
 
 func buildTL2(cfg Config, prog Program) (ProtocolSystem, error) {
+	if err := rejectShards("tl2", cfg); err != nil {
+		return nil, err
+	}
 	sys, err := tl2.NewSystem(tl2FromConfig(cfg), prog)
 	if err != nil {
 		return nil, err
@@ -310,6 +328,9 @@ func eagerFromConfig(c Config) eager.Config {
 }
 
 func buildEager(cfg Config, prog Program) (ProtocolSystem, error) {
+	if err := rejectShards("eager", cfg); err != nil {
+		return nil, err
+	}
 	sys, err := eager.NewSystem(eagerFromConfig(cfg), prog)
 	if err != nil {
 		return nil, err

@@ -130,6 +130,66 @@ func TestValidateErrorsConsistent(t *testing.T) {
 	}
 }
 
+// TestShardsValidation: the sharded-engine knob is validated across the
+// whole registry with the `<protocol>: Config.<Field>` error shape — the
+// tcc protocol rejects counts that don't tile the mesh, and every other
+// model rejects the knob outright rather than silently ignoring it.
+func TestShardsValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		protocol string
+		procs    int
+		shards   int
+		wantErr  string // "" means the config must be accepted
+	}{
+		{"tcc accepts zero", "tcc", 16, 0, ""},
+		{"tcc accepts divisor", "tcc", 16, 4, ""},
+		{"tcc accepts one", "tcc", 16, 1, ""},
+		{"tcc accepts procs", "tcc", 16, 16, ""},
+		{"tcc rejects negative", "tcc", 16, -1,
+			"tcc: Config.Shards must be >= 0, got -1"},
+		{"tcc rejects non-divisor", "tcc", 16, 3,
+			"tcc: Config.Shards 3 does not tile the 16-node mesh (non-divisible region split)"},
+		{"tcc rejects oversubscription", "tcc", 16, 32,
+			"tcc: Config.Shards 32 exceeds 16 procs"},
+		{"baseline rejects shards", "baseline", 16, 4,
+			"baseline: Config.Shards is only supported by the tcc protocol, got 4"},
+		{"tl2 rejects shards", "tl2", 16, 4,
+			"tl2: Config.Shards is only supported by the tcc protocol, got 4"},
+		{"eager rejects shards", "eager", 16, 4,
+			"eager: Config.Shards is only supported by the tcc protocol, got 4"},
+	}
+	prog := MustProfile("hotspot").Scale(0.05).Build(16, 1)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig(tc.procs)
+			cfg.Shards = tc.shards
+			_, err := NewSystemFor(tc.protocol, cfg, prog)
+			switch {
+			case tc.wantErr == "" && err != nil:
+				t.Fatalf("unexpected error: %v", err)
+			case tc.wantErr != "" && err == nil:
+				t.Fatalf("Shards=%d accepted by %s", tc.shards, tc.protocol)
+			case tc.wantErr != "" && err.Error() != tc.wantErr:
+				t.Fatalf("error %q, want %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	// Every non-tcc registry entry must reject the knob: a protocol added
+	// later without a rejectShards (or real support) decision fails here.
+	for _, info := range Protocols() {
+		if info.Name == "tcc" {
+			continue
+		}
+		cfg := DefaultConfig(4)
+		cfg.Shards = 2
+		if _, err := NewSystemFor(info.Name, cfg, prog); err == nil {
+			t.Errorf("%s: Config.Shards silently accepted", info.Name)
+		}
+	}
+}
+
 // TestSummaryProtocolJSON pins the wire form with the Protocol field: it is
 // emitted when set and absent when empty, so pre-protocol v1 bytes are
 // unchanged.

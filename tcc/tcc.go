@@ -135,6 +135,18 @@ type Config struct {
 	// write-back protocol (traffic ablation).
 	WriteThroughCommit bool
 
+	// Shards selects the execution engine. Zero (the default) runs the whole
+	// machine on one global timing wheel — the sequential kernel. A positive
+	// value runs the epoch-parallel sharded kernel with that many workers:
+	// every node advances on its own timing wheel in lockstep windows of
+	// HopLatency cycles, and cross-node effects merge deterministically at
+	// window boundaries. Results depend only on the window structure, never
+	// on the worker count — every Shards >= 1 value is byte-identical — so
+	// Shards is purely a wall-clock knob for large meshes. It must divide
+	// Procs evenly. Sharded runs do not support EnableSampler,
+	// EnableConflictProfiler, or AuditFinalMemory.
+	Shards int
+
 	// Seed drives every pseudo-random choice; equal seeds give bit-identical
 	// runs.
 	Seed uint64
@@ -186,6 +198,7 @@ func (c Config) compile() (core.Config, error) {
 	cc.StarveRetainAfter = c.StarveRetainAfter
 	cc.DeferredProbes = !c.RepeatedProbing
 	cc.WriteThroughCommit = c.WriteThroughCommit
+	cc.Shards = c.Shards
 	cc.Seed = c.Seed
 	cc.MaxCycles = sim.Time(c.MaxCycles)
 	if err := cc.Validate(); err != nil {
