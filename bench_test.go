@@ -377,6 +377,28 @@ func BenchmarkCommitLatency(b *testing.B) {
 	}
 }
 
+// BenchmarkAbortPath isolates the abort path: a contended-hotspot workload
+// in which most transaction attempts violate and roll back, so the cache's
+// arena-snapshot abort (tracked-list gang-clear plus O(1) overflow wipe) and
+// the directory's retirement bookkeeping dominate. Reports violations per
+// run so a change that accidentally suppresses aborts — making the numbers
+// incomparable — is visible in the output.
+func BenchmarkAbortPath(b *testing.B) {
+	prof := tcc.MustProfile("hotspot").Scale(0.1)
+	cfg := tcc.DefaultConfig(16)
+	cfg.Seed = 7
+	b.ReportAllocs()
+	var viol uint64
+	for i := 0; i < b.N; i++ {
+		res, err := tcc.Run(cfg, prof.Build(16, cfg.Seed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		viol += res.Violations
+	}
+	b.ReportMetric(float64(viol)/float64(b.N), "violations/op")
+}
+
 // BenchmarkMeshThroughput measures the interconnect substrate alone.
 func BenchmarkMeshThroughput(b *testing.B) {
 	res, err := tcc.Run(tcc.DefaultConfig(16), tcc.MustProfile("radix").Scale(0.1).Build(16, 1))

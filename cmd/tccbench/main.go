@@ -16,11 +16,17 @@
 //	tccbench -exp all -verify
 //
 // Experiments: table1 table2 table3 fig6 fig7 fig8 fig9 protocols baseline
-// granularity probes writeback scaling dircache all
+// granularity probes writeback scaling dircache hotpath all
 //
 // The scaling experiment sweeps the sharded simulation kernel's worker
 // count (-shards) over the -procs grid and reports wall-clock speedups;
 // its cells run sequentially so the timings are honest.
+//
+// The hotpath experiment reruns the perf gate's microbenchmark workloads
+// (simulator throughput, commit latency, abort latency) with their pinned
+// shapes — 16 processors, 0.1 scale, the benches' own seeds, min-of-3 wall
+// time — so the BENCH_soa.json trajectory is reproducible by one command;
+// -apps/-procs/-scale/-seed do not apply to it.
 //
 // The protocols experiment runs the head-to-head sweep across the protocol
 // registry (TCC, bus baseline, TL2 STM, eager HTM); -protocol narrows the

@@ -13,11 +13,24 @@
 // overflow case ("recent studies have shown that with large private L2
 // caches ... it is unlikely that these overflows will occur"); spills are
 // counted so experiments can report how rare they are.
+//
+// Storage layout (third-generation fast path, DESIGN §23): a set's tag
+// mirror materializes on the set's first touch, but line bodies (plus their
+// permanent data buffers) are carved from chunks one way at a time, on each
+// way's first fill — storage scales with filled lines, not touched sets,
+// which matters because low-occupancy workloads fill only a way or two of
+// most sets. The dense struct-of-arrays tag mirror (`tags`) keeps the
+// per-access set scan reading one contiguous cache line of tags instead of
+// striding through Line structs. Data buffers are slot-permanent, so a fill
+// copies words in place instead of shuffling pooled buffers. Overflow lines
+// are indexed by a generation-tagged open-addressing table (mem.AddrIndex)
+// and their data comes from a watermark arena, making abort O(footprint)
+// with a constant-time overflow wipe.
 package cache
 
 import (
 	"fmt"
-	"slices"
+	stdbits "math/bits"
 	"sort"
 
 	"scalabletcc/internal/bits"
@@ -36,11 +49,13 @@ type Line struct {
 	Data  []mem.Version // per-word versions (stand-in for data)
 	lru   uint64
 
-	// idx is the line's slot index in the main array (-1 for overflow lines);
-	// it survives whole-struct resets so the speculative-line list can be
-	// replayed in deterministic array order. tracked marks membership in that
+	// idx is the line's logical slot index, set*ways+way (-1 for overflow
+	// lines): the deterministic ForEach order key. slot is the line's
+	// physical position in the tag mirror (block*ways+way; -1 for overflow).
+	// Both survive resets. tracked marks membership in the speculative-line
 	// list for the current transaction.
 	idx     int32
+	slot    int32
 	tracked bool
 }
 
@@ -48,7 +63,8 @@ type Line struct {
 func (l *Line) Speculative() bool { return l.SR.Any() || l.SM.Any() }
 
 // Victim describes an evicted line the processor must dispose of
-// (write back if dirty, silently drop otherwise).
+// (write back if dirty, silently drop otherwise). Dirty victims carry a
+// pooled snapshot of their data; callers hand it back via Recycle.
 type Victim struct {
 	Base  mem.Addr
 	Dirty bool
@@ -66,23 +82,73 @@ type Stats struct {
 	Invalidations uint64 // lines dropped by remote invalidation
 }
 
+// specRef locates one tracked line: its deterministic order key (logical
+// idx) plus its physical slot in the way table. It carries no pointers so
+// the tracking list is noscan memory.
+type specRef struct {
+	idx  int32
+	slot int32
+}
+
+// invalidTag marks an empty way in the tag mirror. A slot whose tag matches
+// a probed base is confirmed against Valid before being returned, so an
+// application line that happens to equal the marker still resolves correctly.
+const invalidTag = ^mem.Addr(0)
+
+// chunkLines is how many Line bodies each storage chunk holds; filling a
+// cold way costs one chunk-carve, not one allocation.
+const chunkLines = 256
+
 // Cache is the authoritative private cache (the paper's 512 KB L2).
+//
+// Set storage is lazy twice over: `setBlk[set]` is -1 until the set's first
+// fill claims a block of `ways` tag-mirror and way-table slots, and each
+// way's Line body (plus its permanent data buffer) is carved from the
+// current chunk only when that way first fills. Only `setBlk` scales with
+// the configured cache size; everything else scales with the filled
+// footprint, which is what makes constructing a 512 KB cache per benchmark
+// iteration nearly free.
 type Cache struct {
-	geom     mem.Geometry
-	sets     int
-	ways     int
-	lines    []Line // sets*ways, set-major
-	overflow map[mem.Addr]*Line
-	clock    uint64
-	stats    Stats
-	bufFree  [][]mem.Version // line-data buffer pool; all WordsPerLine-sized
+	geom      mem.Geometry
+	sets      int
+	ways      int
+	lineShift uint // log2(LineSize), for the set-index computation
+
+	setBlk  []int32    // set -> block id, -1 if the set was never filled
+	tags    []mem.Addr // dense tag mirror, block-major: tags[block*ways+way]
+	wayLine []*Line    // way table, same indexing; nil until the way first fills
+
+	chunkFree []Line        // unused Line bodies in the current chunk
+	chunkSlab []mem.Version // unused data words in the current chunk
+
+	clock   uint64
+	stats   Stats
+	bufFree [][]mem.Version // victim-snapshot buffer pool; all WordsPerLine-sized
+	invSnap Line            // Invalidate's reusable return value (transient contract)
 
 	// spec lists the main-array lines that gained SR/SM state during the
-	// current transaction (in first-touch order; possibly with stale or
-	// duplicate entries after invalidations — the tracked flag disambiguates).
-	// It lets CommitTx/RollbackTx touch only the transaction's footprint
-	// instead of scanning all sets*ways lines.
-	spec []*Line
+	// current transaction, kept unique and sorted by logical idx (sorted
+	// insertion in Track), so commit/rollback/ForEachSpeculative walk it
+	// directly in deterministic array order with no per-commit sort. Entries
+	// are pointer-free slot references — insertion shifts move plain integers,
+	// with no GC write barriers — resolved through blkLines, whose slots never
+	// move.
+	spec []specRef
+
+	// Overflow area: ovIdx resolves a base to its position in ovLines
+	// (append order); ovIter is the ascending-Base view rebuilt lazily when
+	// ovDirty. Line bodies are pooled (ovPool, plus ovRetired for lines
+	// handed out by Invalidate this transaction) and their data is carved
+	// from a watermark arena (ovSlab/ovW) — the transaction-boundary wipe is
+	// an index reset plus a watermark reset, never a per-word clear.
+	ovIdx     mem.AddrIndex
+	ovLines   []*Line
+	ovIter    []*Line
+	ovDirty   bool
+	ovPool    []*Line
+	ovRetired []*Line
+	ovSlab    []mem.Version
+	ovW       int
 }
 
 // New builds a cache of sizeBytes with the given associativity.
@@ -96,14 +162,14 @@ func New(geom mem.Geometry, sizeBytes, ways int) *Cache {
 		panic(fmt.Sprintf("cache: set count %d not a power of two", sets))
 	}
 	c := &Cache{
-		geom:     geom,
-		sets:     sets,
-		ways:     ways,
-		lines:    make([]Line, nlines),
-		overflow: make(map[mem.Addr]*Line),
+		geom:      geom,
+		sets:      sets,
+		ways:      ways,
+		lineShift: uint(stdbits.TrailingZeros(uint(geom.LineSize))),
+		setBlk:    make([]int32, sets),
 	}
-	for i := range c.lines {
-		c.lines[i].idx = int32(i)
+	for i := range c.setBlk {
+		c.setBlk[i] = -1
 	}
 	return c
 }
@@ -115,12 +181,48 @@ func (c *Cache) Geometry() mem.Geometry { return c.geom }
 func (c *Cache) Stats() Stats { return c.stats }
 
 func (c *Cache) setIndex(base mem.Addr) int {
-	return int(uint64(base)/uint64(c.geom.LineSize)) & (c.sets - 1)
+	return int(uint64(base)>>c.lineShift) & (c.sets - 1)
 }
 
-func (c *Cache) set(base mem.Addr) []Line {
-	i := c.setIndex(base)
-	return c.lines[i*c.ways : (i+1)*c.ways]
+// allocBlock gives set si its block of tag-mirror and way-table slots; Line
+// bodies stay unallocated until each way first fills.
+func (c *Cache) allocBlock(si int) int32 {
+	b := int32(len(c.tags) / c.ways)
+	for i := 0; i < c.ways; i++ {
+		c.tags = append(c.tags, invalidTag)
+		c.wayLine = append(c.wayLine, nil)
+	}
+	c.setBlk[si] = b
+	return b
+}
+
+// block returns set si's block id, allocating its slots on first touch.
+func (c *Cache) block(si int) int32 {
+	b := c.setBlk[si]
+	if b < 0 {
+		b = c.allocBlock(si)
+	}
+	return b
+}
+
+// allocLine carves a Line body (with its permanent data buffer) out of the
+// current chunk for the way at slot, and records it in the way table. Bodies
+// never move once carved.
+func (c *Cache) allocLine(si int, slot int32) *Line {
+	wpl := c.geom.WordsPerLine()
+	if len(c.chunkFree) == 0 {
+		c.chunkFree = make([]Line, chunkLines)
+		c.chunkSlab = make([]mem.Version, chunkLines*wpl)
+	}
+	l := &c.chunkFree[0]
+	c.chunkFree = c.chunkFree[1:]
+	l.Data = c.chunkSlab[:wpl:wpl]
+	c.chunkSlab = c.chunkSlab[wpl:]
+	way := int(slot) % c.ways
+	l.idx = int32(si*c.ways + way)
+	l.slot = slot
+	c.wayLine[slot] = l
+	return l
 }
 
 // Lookup returns the line holding base, or nil on miss. It touches LRU state
@@ -138,15 +240,22 @@ func (c *Cache) Lookup(base mem.Addr) *Line {
 
 // Peek returns the line holding base without touching LRU or counters.
 func (c *Cache) Peek(base mem.Addr) *Line {
-	set := c.set(base)
-	for i := range set {
-		if set[i].Valid && set[i].Base == base {
-			return &set[i]
+	si := c.setIndex(base)
+	if b := c.setBlk[si]; b >= 0 {
+		off := int(b) * c.ways
+		tags := c.tags[off : off+c.ways]
+		for i, t := range tags {
+			if t == base {
+				l := c.wayLine[off+i]
+				if l != nil && l.Valid {
+					return l
+				}
+			}
 		}
 	}
-	if len(c.overflow) != 0 {
-		if l, ok := c.overflow[base]; ok {
-			return l
+	if len(c.ovLines) != 0 {
+		if pos, ok := c.ovIdx.Get(base); ok {
+			return c.ovLines[pos]
 		}
 	}
 	return nil
@@ -160,11 +269,18 @@ func (c *Cache) Insert(base mem.Addr, data []mem.Version) (*Line, *Victim) {
 		panic("cache: Insert of resident line")
 	}
 	c.clock++
-	set := c.set(base)
-	// Prefer an invalid way, then the least-recently-used non-speculative way.
+	si := c.setIndex(base)
+	off := int(c.block(si)) * c.ways
+	// Prefer an invalid (or never-filled) way, then the least-recently-used
+	// non-speculative way.
 	var victim *Line
-	for i := range set {
-		l := &set[i]
+	vslot := int32(-1)
+	for i := 0; i < c.ways; i++ {
+		l := c.wayLine[off+i]
+		if l == nil {
+			victim, vslot = nil, int32(off+i)
+			break
+		}
 		if !l.Valid {
 			victim = l
 			break
@@ -177,31 +293,92 @@ func (c *Cache) Insert(base mem.Addr, data []mem.Version) (*Line, *Victim) {
 		}
 	}
 	full := bits.All(c.geom.WordsPerLine())
-	if victim == nil {
+	if victim == nil && vslot < 0 {
 		// Every way pinned by speculative state: spill to the overflow area.
 		c.stats.Spills++
-		l := &Line{Base: base, Valid: true, VW: full, Data: c.cloneData(data), lru: c.clock, idx: -1}
-		c.overflow[base] = l
-		if len(c.overflow) > c.stats.MaxOverflow {
-			c.stats.MaxOverflow = len(c.overflow)
-		}
-		return l, nil
+		return c.ovInsert(base, data, full), nil
 	}
 	var out *Victim
-	if victim.Valid {
+	if victim == nil {
+		victim = c.allocLine(si, vslot)
+	} else if victim.Valid {
 		c.stats.Evictions++
 		if victim.Dirty {
 			c.stats.DirtyEvicts++
 			// Only a dirty victim's data is meaningful to the caller (it must
-			// be written back); a clean victim's buffer is recycled here.
-			out = &Victim{Base: victim.Base, Dirty: true, OW: victim.OW, Data: victim.Data}
+			// be written back): snapshot it into a pooled buffer before the
+			// slot is overwritten.
+			out = &Victim{Base: victim.Base, Dirty: true, OW: victim.OW, Data: c.cloneData(victim.Data)}
 		} else {
 			out = &Victim{Base: victim.Base}
-			c.Recycle(victim.Data)
 		}
 	}
-	*victim = Line{Base: base, Valid: true, VW: full, Data: c.cloneData(data), lru: c.clock, idx: victim.idx}
+	victim.Base, victim.Valid, victim.VW = base, true, full
+	victim.Dirty, victim.OW, victim.SR, victim.SM = false, 0, 0, 0
+	victim.lru = c.clock
+	victim.tracked = false
+	copy(victim.Data, data)
+	c.tags[victim.slot] = base
 	return victim, out
+}
+
+// ovInsert spills base into the overflow area: a pooled Line body with data
+// carved from the transaction arena.
+func (c *Cache) ovInsert(base mem.Addr, data []mem.Version, full bits.WordMask) *Line {
+	var l *Line
+	if n := len(c.ovPool); n > 0 {
+		l = c.ovPool[n-1]
+		c.ovPool = c.ovPool[:n-1]
+	} else {
+		l = &Line{}
+	}
+	*l = Line{Base: base, Valid: true, VW: full, Data: c.ovAlloc(data), lru: c.clock, idx: -1, slot: -1}
+	c.ovIdx.Set(base, int32(len(c.ovLines)))
+	c.ovLines = append(c.ovLines, l)
+	c.ovDirty = true
+	if len(c.ovLines) > c.stats.MaxOverflow {
+		c.stats.MaxOverflow = len(c.ovLines)
+	}
+	return l
+}
+
+// ovAlloc carves one line of overflow data at the arena watermark and copies
+// d into it. On exhaustion a larger slab replaces the current one; slices
+// carved earlier keep the old slab alive, so growth never moves live data.
+func (c *Cache) ovAlloc(d []mem.Version) []mem.Version {
+	wpl := c.geom.WordsPerLine()
+	if len(c.ovSlab)-c.ovW < wpl {
+		n := 2 * len(c.ovSlab)
+		if n < 8*wpl {
+			n = 8 * wpl
+		}
+		c.ovSlab = make([]mem.Version, n)
+		c.ovW = 0
+	}
+	out := c.ovSlab[c.ovW : c.ovW+wpl : c.ovW+wpl]
+	c.ovW += wpl
+	copy(out, d)
+	return out
+}
+
+// ovWipe empties the overflow area at a transaction boundary: Line bodies
+// (including any handed out by Invalidate this transaction) return to the
+// pool, the index resets in O(1), and the arena watermark rewinds — no
+// per-line or per-word clearing.
+func (c *Cache) ovWipe() {
+	for _, l := range c.ovLines {
+		l.Data = nil
+		c.ovPool = append(c.ovPool, l)
+	}
+	c.ovLines = c.ovLines[:0]
+	for _, l := range c.ovRetired {
+		l.Data = nil
+		c.ovPool = append(c.ovPool, l)
+	}
+	c.ovRetired = c.ovRetired[:0]
+	c.ovIdx.Reset()
+	c.ovW = 0
+	c.ovDirty = false
 }
 
 func (c *Cache) cloneData(d []mem.Version) []mem.Version {
@@ -224,21 +401,52 @@ func (c *Cache) Recycle(data []mem.Version) {
 	}
 }
 
+// clearLine empties a main-array slot, keeping its identity (idx/slot) and
+// its permanent data buffer, and clears the slot's tag-mirror entry.
+func (c *Cache) clearLine(l *Line) {
+	c.tags[l.slot] = invalidTag
+	d, idx, slot := l.Data, l.idx, l.slot
+	*l = Line{Data: d, idx: idx, slot: slot}
+}
+
 // Invalidate drops the line holding base if present, returning it for
-// inspection (SR/SM bits decide whether the processor violates).
+// inspection (SR/SM bits decide whether the processor violates). The
+// returned line is a transient snapshot: its Data aliases storage that is
+// reused by later fills, so callers must consume it before inserting.
 func (c *Cache) Invalidate(base mem.Addr) *Line {
-	if l, ok := c.overflow[base]; ok {
-		delete(c.overflow, base)
-		c.stats.Invalidations++
-		return l
-	}
-	set := c.set(base)
-	for i := range set {
-		if set[i].Valid && set[i].Base == base {
+	if len(c.ovLines) != 0 {
+		if pos, ok := c.ovIdx.Get(base); ok {
+			l := c.ovLines[pos]
+			last := len(c.ovLines) - 1
+			if int(pos) != last {
+				moved := c.ovLines[last]
+				c.ovLines[pos] = moved
+				c.ovIdx.Set(moved.Base, pos)
+			}
+			c.ovLines = c.ovLines[:last]
+			c.ovIdx.Del(base)
+			c.ovDirty = true
+			c.ovRetired = append(c.ovRetired, l)
 			c.stats.Invalidations++
-			snap := set[i]
-			set[i] = Line{idx: set[i].idx}
-			return &snap
+			return l
+		}
+	}
+	si := c.setIndex(base)
+	b := c.setBlk[si]
+	if b < 0 {
+		return nil
+	}
+	off := int(b) * c.ways
+	for i := 0; i < c.ways; i++ {
+		l := c.wayLine[off+i]
+		if l != nil && l.Valid && l.Base == base {
+			c.stats.Invalidations++
+			// The snapshot lives in a per-cache scratch Line: the transient
+			// contract (consume before the next cache operation) makes a heap
+			// copy per invalidation pure waste.
+			c.invSnap = *l
+			c.clearLine(l)
+			return &c.invSnap
 		}
 	}
 	return nil
@@ -248,13 +456,20 @@ func (c *Cache) Invalidate(base mem.Addr) *Line {
 // deterministic order (the simulator requires bit-identical replays).
 // fn must not insert or invalidate lines.
 func (c *Cache) ForEach(fn func(l *Line)) {
-	for i := range c.lines {
-		if c.lines[i].Valid {
-			fn(&c.lines[i])
+	for si := 0; si < c.sets; si++ {
+		b := c.setBlk[si]
+		if b < 0 {
+			continue
+		}
+		off := int(b) * c.ways
+		for i := 0; i < c.ways; i++ {
+			if l := c.wayLine[off+i]; l != nil && l.Valid {
+				fn(l)
+			}
 		}
 	}
-	for _, base := range c.overflowKeys() {
-		fn(c.overflow[base])
+	for _, l := range c.overflowIter() {
+		fn(l)
 	}
 }
 
@@ -264,13 +479,39 @@ func (c *Cache) ForEach(fn func(l *Line)) {
 // only main-array lines CommitTx, RollbackTx, and ForEachSpeculative visit,
 // which keeps transaction finalization proportional to the transaction's
 // footprint rather than the cache size. Overflow lines are not tracked — the
-// (almost always empty) overflow map is walked directly.
+// (almost always empty) overflow area is walked directly.
+//
+// The list is kept unique and sorted by logical idx via sorted insertion:
+// speculative footprints are small and grow mostly in address-index order,
+// so the common case is an O(1) append and finalization never sorts.
 func (c *Cache) Track(l *Line) {
 	if l.tracked || l.idx < 0 {
 		return
 	}
 	l.tracked = true
-	c.spec = append(c.spec, l)
+	r := specRef{idx: l.idx, slot: l.slot}
+	s := c.spec
+	n := len(s)
+	if n == 0 || s[n-1].idx < l.idx {
+		c.spec = append(s, r)
+		return
+	}
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid].idx < l.idx {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if s[lo].idx == l.idx {
+		return // already listed (slot re-tracked after an invalidate + refill)
+	}
+	s = append(s, specRef{})
+	copy(s[lo+1:], s[lo:])
+	s[lo] = r
+	c.spec = s
 }
 
 // ForEachSpeculative calls fn for every line that gained speculative state in
@@ -278,42 +519,43 @@ func (c *Cache) Track(l *Line) {
 // visit them (main array by ascending slot index, then overflow lines by
 // ascending address). fn must not insert or invalidate lines.
 func (c *Cache) ForEachSpeculative(fn func(l *Line)) {
-	slices.SortFunc(c.spec, func(a, b *Line) int { return int(a.idx) - int(b.idx) })
-	var prev *Line
-	for _, l := range c.spec {
+	for _, r := range c.spec {
+		l := c.wayLine[r.slot]
 		// Skip stale entries (slot invalidated since tracking — the reset
-		// cleared the flag) and duplicates (slot re-tracked after a reset;
-		// equal pointers are adjacent once sorted).
-		if !l.tracked || !l.Valid || l == prev {
+		// cleared the flag).
+		if !l.tracked || !l.Valid {
 			continue
 		}
-		prev = l
 		fn(l)
 	}
-	for _, base := range c.overflowKeys() {
-		fn(c.overflow[base])
+	for _, l := range c.overflowIter() {
+		fn(l)
 	}
 }
 
-// overflowKeys returns the overflow line addresses in ascending order.
-func (c *Cache) overflowKeys() []mem.Addr {
-	if len(c.overflow) == 0 {
+// overflowIter returns the live overflow lines in ascending Base order,
+// rebuilding the sorted view only when the overflow set changed. The common
+// case — nothing spilled — returns nil without touching memory.
+func (c *Cache) overflowIter() []*Line {
+	if len(c.ovLines) == 0 {
 		return nil
 	}
-	keys := make([]mem.Addr, 0, len(c.overflow))
-	for base := range c.overflow {
-		keys = append(keys, base)
+	if c.ovDirty {
+		c.ovIter = append(c.ovIter[:0], c.ovLines...)
+		sort.Slice(c.ovIter, func(i, j int) bool { return c.ovIter[i].Base < c.ovIter[j].Base })
+		c.ovDirty = false
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	return keys
+	return c.ovIter
 }
 
 // RollbackTx undoes the current transaction: lines with SM bits hold
 // uncommitted data and are dropped wholesale (lazy versioning makes abort a
-// bulk invalidate); SR bits are gang-cleared. Overflow lines that lose their
-// speculative state are released.
+// bulk invalidate); SR bits are gang-cleared along the dense tracked list.
+// The overflow area — whose lines never outlive a transaction — is wiped in
+// O(1) by resetting its index and arena watermark.
 func (c *Cache) RollbackTx() {
-	for _, l := range c.spec {
+	for _, r := range c.spec {
+		l := c.wayLine[r.slot]
 		if !l.tracked {
 			continue // slot invalidated (and possibly re-filled) since tracking
 		}
@@ -322,20 +564,13 @@ func (c *Cache) RollbackTx() {
 			continue
 		}
 		if l.SM.Any() {
-			c.Recycle(l.Data)
-			*l = Line{idx: l.idx}
+			c.clearLine(l)
 			continue
 		}
 		l.SR = 0
 	}
 	c.spec = c.spec[:0]
-	for base, l := range c.overflow {
-		// Overflow space models scarce virtualized storage: rolled-back
-		// lines are released whether they held SM data (dropped) or only SR
-		// tracking (cleared anyway).
-		c.Recycle(l.Data)
-		delete(c.overflow, base)
-	}
+	c.ovWipe()
 }
 
 // CommitTx finalizes the current transaction locally: every SM word's
@@ -377,7 +612,8 @@ func (c *Cache) finishLine(l *Line, tid mem.Version, writeThrough bool) {
 
 func (c *Cache) commitTx(tid mem.Version, writeThrough bool) []Victim {
 	var spillOut []Victim
-	for _, l := range c.spec {
+	for _, r := range c.spec {
+		l := c.wayLine[r.slot]
 		if !l.tracked {
 			continue // slot invalidated (and possibly re-filled) since tracking
 		}
@@ -387,41 +623,64 @@ func (c *Cache) commitTx(tid mem.Version, writeThrough bool) []Victim {
 		}
 	}
 	c.spec = c.spec[:0]
-	for _, base := range c.overflowKeys() {
-		l := c.overflow[base]
+	for _, l := range c.overflowIter() {
 		c.finishLine(l, tid, writeThrough)
-		delete(c.overflow, base)
 		// Try to re-home the line in its set now that pins are released.
-		set := c.set(base)
+		si := c.setIndex(l.Base)
+		off := int(c.block(si)) * c.ways
 		var slot *Line
-		for i := range set {
-			if !set[i].Valid {
-				slot = &set[i]
+		sslot := int32(-1)
+		for i := 0; i < c.ways; i++ {
+			w := c.wayLine[off+i]
+			if w == nil {
+				slot, sslot = nil, int32(off+i)
 				break
 			}
-			if set[i].Speculative() {
+			if !w.Valid {
+				slot = w
+				break
+			}
+			if w.Speculative() {
 				continue
 			}
-			if slot == nil || set[i].lru < slot.lru {
-				slot = &set[i]
+			if slot == nil || w.lru < slot.lru {
+				slot = w
 			}
 		}
-		if slot == nil || slot.Speculative() {
-			spillOut = append(spillOut, Victim{Base: l.Base, Dirty: l.Dirty, OW: l.OW, Data: l.Data})
+		if sslot < 0 && (slot == nil || slot.Speculative()) {
+			// Still no room: hand the line to the processor as a victim.
+			spillOut = append(spillOut, c.makeVictim(l.Base, l.Dirty, l.OW, l.Data))
 			continue
 		}
-		if slot.Valid {
+		if slot == nil {
+			slot = c.allocLine(si, sslot)
+		} else if slot.Valid {
 			c.stats.Evictions++
 			if slot.Dirty {
 				c.stats.DirtyEvicts++
 			}
-			spillOut = append(spillOut, Victim{Base: slot.Base, Dirty: slot.Dirty, OW: slot.OW, Data: slot.Data})
+			spillOut = append(spillOut, c.makeVictim(slot.Base, slot.Dirty, slot.OW, slot.Data))
 		}
-		si := slot.idx
-		*slot = *l
-		slot.idx = si
+		slot.Base, slot.Valid, slot.VW = l.Base, true, l.VW
+		slot.Dirty, slot.OW = l.Dirty, l.OW
+		slot.SR, slot.SM = 0, 0
+		slot.lru = l.lru
+		slot.tracked = false
+		copy(slot.Data, l.Data)
+		c.tags[slot.slot] = l.Base
 	}
+	c.ovWipe()
 	return spillOut
+}
+
+// makeVictim builds an eviction record; only dirty victims need their data
+// snapshotted (clean drops carry no payload).
+func (c *Cache) makeVictim(base mem.Addr, dirty bool, ow bits.WordMask, data []mem.Version) Victim {
+	v := Victim{Base: base, Dirty: dirty, OW: ow}
+	if dirty {
+		v.Data = c.cloneData(data)
+	}
+	return v
 }
 
 // Audit scans every resident line for violated structural invariants and
@@ -451,9 +710,14 @@ func (c *Cache) Audit(atBoundary bool) error {
 			if l.idx != -1 {
 				return fmt.Errorf("cache: overflow line %#x carries main-array slot %d", l.Base, l.idx)
 			}
-		} else if l.Speculative() && !l.tracked {
-			return fmt.Errorf("cache: line %#x speculative (SR %#x SM %#x) but untracked — commit/rollback would miss it",
-				l.Base, uint64(l.SR), uint64(l.SM))
+		} else {
+			if c.tags[l.slot] != l.Base {
+				return fmt.Errorf("cache: line %#x tag mirror holds %#x", l.Base, uint64(c.tags[l.slot]))
+			}
+			if l.Speculative() && !l.tracked {
+				return fmt.Errorf("cache: line %#x speculative (SR %#x SM %#x) but untracked — commit/rollback would miss it",
+					l.Base, uint64(l.SR), uint64(l.SM))
+			}
 		}
 		if atBoundary && l.Speculative() {
 			return fmt.Errorf("cache: spec leak — line %#x kept SR %#x SM %#x past a transaction boundary",
@@ -461,22 +725,30 @@ func (c *Cache) Audit(atBoundary bool) error {
 		}
 		return nil
 	}
-	for i := range c.lines {
-		if !c.lines[i].Valid {
+	for si := 0; si < c.sets; si++ {
+		b := c.setBlk[si]
+		if b < 0 {
 			continue
 		}
-		if err := check(&c.lines[i], false); err != nil {
-			return err
+		off := int(b) * c.ways
+		for i := 0; i < c.ways; i++ {
+			l := c.wayLine[off+i]
+			if l == nil || !l.Valid {
+				continue
+			}
+			if err := check(l, false); err != nil {
+				return err
+			}
 		}
 	}
-	for _, base := range c.overflowKeys() {
-		if err := check(c.overflow[base], true); err != nil {
+	for _, l := range c.overflowIter() {
+		if err := check(l, true); err != nil {
 			return err
 		}
 	}
 	if atBoundary {
-		for _, l := range c.spec {
-			if l.tracked {
+		for _, r := range c.spec {
+			if l := c.wayLine[r.slot]; l != nil && l.tracked {
 				return fmt.Errorf("cache: tracking list not drained at transaction boundary (line %#x)", l.Base)
 			}
 		}
@@ -499,13 +771,14 @@ func (c *Cache) SpeculativeLines() int {
 // decides whether an access pays L1 or L2 latency. It holds no data and no
 // protocol state.
 type TagArray struct {
-	geom  mem.Geometry
-	sets  int
-	ways  int
-	tags  []mem.Addr
-	valid []bool
-	lru   []uint64
-	clock uint64
+	geom      mem.Geometry
+	sets      int
+	ways      int
+	lineShift uint
+	tags      []mem.Addr
+	valid     []bool
+	lru       []uint64
+	clock     uint64
 }
 
 // NewTagArray builds an L1 filter of sizeBytes.
@@ -519,19 +792,20 @@ func NewTagArray(geom mem.Geometry, sizeBytes, ways int) *TagArray {
 		panic(fmt.Sprintf("cache: L1 set count %d not a power of two", sets))
 	}
 	return &TagArray{
-		geom:  geom,
-		sets:  sets,
-		ways:  ways,
-		tags:  make([]mem.Addr, nlines),
-		valid: make([]bool, nlines),
-		lru:   make([]uint64, nlines),
+		geom:      geom,
+		sets:      sets,
+		ways:      ways,
+		lineShift: uint(stdbits.TrailingZeros(uint(geom.LineSize))),
+		tags:      make([]mem.Addr, nlines),
+		valid:     make([]bool, nlines),
+		lru:       make([]uint64, nlines),
 	}
 }
 
 // Access reports whether base hits, inserting it (evicting LRU) on miss.
 func (t *TagArray) Access(base mem.Addr) bool {
 	t.clock++
-	si := int(uint64(base)/uint64(t.geom.LineSize)) & (t.sets - 1)
+	si := int(uint64(base)>>t.lineShift) & (t.sets - 1)
 	lo := si * t.ways
 	vi := lo
 	for i := lo; i < lo+t.ways; i++ {
@@ -554,7 +828,7 @@ func (t *TagArray) Access(base mem.Addr) bool {
 
 // Invalidate drops base from the filter if present.
 func (t *TagArray) Invalidate(base mem.Addr) {
-	si := int(uint64(base)/uint64(t.geom.LineSize)) & (t.sets - 1)
+	si := int(uint64(base)>>t.lineShift) & (t.sets - 1)
 	lo := si * t.ways
 	for i := lo; i < lo+t.ways; i++ {
 		if t.valid[i] && t.tags[i] == base {

@@ -330,6 +330,205 @@ func TestCacheModelProperty(t *testing.T) {
 	}
 }
 
+// Overflow lines must drain back through commit even when the transaction
+// invalidated lines along the way: partial VW masks survive the re-home, the
+// drain fills freed ways first, and anything that still cannot fit surfaces
+// as a victim carrying committed data.
+func TestCommitDrainsOverflowPartialInvalidation(t *testing.T) {
+	c := small()
+	pinA, _ := c.Insert(0x0, line0(1))
+	pinA.SR = pinA.SR.Set(0)
+	c.Track(pinA)
+	pinB, _ := c.Insert(0x200, line0(2))
+	pinB.SM = pinB.SM.Set(2)
+	c.Track(pinB)
+
+	// Both ways of set 0 pinned: the next two inserts spill.
+	ov1, _ := c.Insert(0x400, line0(3))
+	ov1.VW = bits.WordMask(0).Set(0).Set(1) // partially filled line
+	ov1.SM = ov1.SM.Set(1)
+	ov2, _ := c.Insert(0x600, line0(4))
+	ov2.SM = ov2.SM.Set(0)
+	if c.Stats().Spills != 2 {
+		t.Fatalf("spills = %d, want 2", c.Stats().Spills)
+	}
+
+	// Mid-transaction conflict kills the SR line, freeing one way.
+	if snap := c.Invalidate(0x0); snap == nil || !snap.SR.Has(0) {
+		t.Fatalf("invalidate snapshot = %+v", snap)
+	}
+
+	spill := c.CommitTx(9)
+
+	// 0x400 drains into the freed way (drain order is ascending base); 0x600
+	// then evicts the just-committed 0x200 line via LRU, which must surface
+	// as a dirty victim carrying its committed data.
+	got := c.Peek(0x400)
+	if got == nil {
+		t.Fatal("0x400 not re-homed at commit")
+	}
+	if got.VW != bits.WordMask(0).Set(0).Set(1) {
+		t.Fatalf("partial VW lost in drain: %#x", got.VW)
+	}
+	if got.Data[1] != 9 || !got.Dirty || got.OW != bits.WordMask(0).Set(1) {
+		t.Fatalf("drained line not committed: %+v", got)
+	}
+	got = c.Peek(0x600)
+	if got == nil || got.Data[0] != 9 || !got.Dirty || got.OW != bits.WordMask(0).Set(0) {
+		t.Fatalf("second drained line = %+v", got)
+	}
+	if len(spill) != 1 || spill[0].Base != 0x200 || !spill[0].Dirty || spill[0].Data[2] != 9 {
+		t.Fatalf("commit spill = %+v, want dirty 0x200 with committed data", spill)
+	}
+	if c.Peek(0x0) != nil || c.Peek(0x200) != nil {
+		t.Fatal("invalidated/evicted lines still resident")
+	}
+	if len(c.ovLines) != 0 || len(c.ovRetired) != 0 || c.ovW != 0 {
+		t.Fatalf("overflow not drained: live=%d retired=%d watermark=%d",
+			len(c.ovLines), len(c.ovRetired), c.ovW)
+	}
+	if c.SpeculativeLines() != 0 {
+		t.Fatal("speculative state survived commit")
+	}
+	if err := c.Audit(true); err != nil {
+		t.Fatalf("post-commit audit: %v", err)
+	}
+}
+
+// RollbackTx is an arena-snapshot wipe: tracked SM lines gang-clear, SR-only
+// lines survive with their data, and the whole overflow area — live spilled
+// bodies and mid-transaction-invalidated ones alike — rewinds to the pool in
+// O(tracked). A second transaction must then reuse the pooled bodies and
+// behave identically.
+func TestRollbackArenaWipe(t *testing.T) {
+	c := small()
+	run := func(tag mem.Version) {
+		lr, _ := c.Insert(0x0, line0(tag))
+		lr.SR = lr.SR.Set(4)
+		c.Track(lr)
+		lw, _ := c.Insert(0x200, line0(tag+1))
+		lw.SM = lw.SM.Set(0)
+		c.Track(lw)
+		ov1, _ := c.Insert(0x400, line0(tag+2))
+		ov1.SM = ov1.SM.Set(3)
+		ov2, _ := c.Insert(0x600, line0(tag+3))
+		ov2.SR = ov2.SR.Set(1)
+		// Mid-transaction conflict retires one overflow body before the abort.
+		if c.Invalidate(0x400) == nil {
+			t.Fatal("overflow invalidate missed")
+		}
+		c.RollbackTx()
+
+		if got := c.Peek(0x0); got == nil || got.SR != 0 || got.Data[0] != tag {
+			t.Fatalf("SR line after rollback = %+v", got)
+		}
+		for _, base := range []mem.Addr{0x200, 0x400, 0x600} {
+			if c.Peek(base) != nil {
+				t.Fatalf("line %#x survived rollback", base)
+			}
+		}
+		if n := len(c.ovLines) + len(c.ovRetired); n != 0 || c.ovW != 0 {
+			t.Fatalf("overflow not wiped: live+retired=%d watermark=%d", n, c.ovW)
+		}
+		if c.SpeculativeLines() != 0 {
+			t.Fatal("speculative state survived rollback")
+		}
+		if err := c.Audit(true); err != nil {
+			t.Fatalf("post-rollback audit: %v", err)
+		}
+	}
+	run(10)
+	if len(c.ovPool) != 2 {
+		t.Fatalf("pool holds %d bodies after first abort, want 2", len(c.ovPool))
+	}
+	c.Invalidate(0x0) // clear the survivor so the second round replays identically
+	run(20)
+	if len(c.ovPool) != 2 {
+		t.Fatalf("pool grew across transactions: %d bodies", len(c.ovPool))
+	}
+}
+
+// Property: RollbackTx agrees with a reference model over arbitrary
+// interleavings of insert, speculative tracking, invalidation, and abort.
+// The model encodes the pre-arena rollback semantics — SM lines and every
+// spilled line drop, SR-only resident lines survive with SR cleared — so the
+// arena-snapshot implementation must be indistinguishable from the old
+// per-line walk.
+func TestRollbackEquivalenceProperty(t *testing.T) {
+	type ref struct{ spilled, sr, sm bool }
+	abortModel := func(model map[mem.Addr]*ref) {
+		for b, r := range model {
+			if r.sm || r.spilled {
+				delete(model, b)
+				continue
+			}
+			r.sr = false
+		}
+	}
+	f := func(ops []uint16) bool {
+		c := small()
+		model := map[mem.Addr]*ref{}
+		for _, op := range ops {
+			base := mem.Addr(op%64) * 32
+			w := int(op>>6) % 8
+			switch op % 5 {
+			case 0: // fill
+				if c.Peek(base) != nil {
+					continue
+				}
+				before := c.Stats().Spills
+				_, v := c.Insert(base, line0(mem.Version(op)))
+				if v != nil {
+					delete(model, v.Base)
+				}
+				model[base] = &ref{spilled: c.Stats().Spills != before}
+			case 1: // speculative read
+				if l := c.Peek(base); l != nil {
+					l.SR = l.SR.Set(w)
+					c.Track(l)
+					if r, ok := model[base]; ok {
+						r.sr = true
+					}
+				}
+			case 2: // speculative write
+				if l := c.Peek(base); l != nil {
+					l.SM = l.SM.Set(w)
+					c.Track(l)
+					if r, ok := model[base]; ok {
+						r.sm = true
+					}
+				}
+			case 3: // conflict invalidation
+				if c.Invalidate(base) != nil {
+					delete(model, base)
+				}
+			case 4: // abort
+				c.RollbackTx()
+				abortModel(model)
+			}
+		}
+		c.RollbackTx()
+		abortModel(model)
+		for i := 0; i < 64; i++ {
+			base := mem.Addr(i) * 32
+			l := c.Peek(base)
+			if _, want := model[base]; (l != nil) != want {
+				return false
+			}
+			if l != nil && (l.SR != 0 || l.SM != 0) {
+				return false
+			}
+		}
+		if c.SpeculativeLines() != 0 {
+			return false
+		}
+		return c.Audit(true) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestTagArray(t *testing.T) {
 	ta := NewTagArray(g(), 256, 2) // 8 lines, 4 sets
 	if ta.Access(0x0) {

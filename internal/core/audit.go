@@ -15,7 +15,7 @@ func (s *System) FinalMemoryView() map[mem.Addr]mem.Version {
 	g := s.cfg.Geometry
 	out := make(map[mem.Addr]mem.Version)
 	for _, d := range s.dirs {
-		for base := range d.entries {
+		for _, base := range d.entBases {
 			line := d.memory.ReadLine(base)
 			for w, v := range line {
 				if v != 0 {
@@ -29,7 +29,8 @@ func (s *System) FinalMemoryView() map[mem.Addr]mem.Version {
 	// nominally "own" words whose latest data already reached memory via an
 	// earlier transfer; its stale copies never win.)
 	for _, d := range s.dirs {
-		for base, e := range d.entries {
+		for id, base := range d.entBases {
+			e := d.entryAt(int32(id))
 			if e.owner < 0 {
 				continue
 			}

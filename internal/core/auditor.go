@@ -109,15 +109,16 @@ func (a *Auditor) onDirExec(d *Directory, m *protoMsg) {
 	switch m.kind {
 	case MsgMark, MsgLoadReq, MsgFlushResp, MsgFlushNack, MsgWriteBack, MsgFlushInvResp:
 		base := a.sys.cfg.Geometry.Line(m.addr)
-		// Read the map directly: Directory.entry would charge a
+		// Read the index directly: Directory.entry would charge a
 		// directory-cache access and perturb timing.
-		if e, ok := d.entries[base]; ok {
+		if e := d.lookupEntry(base); e != nil {
 			a.checkEntry(d, base, e)
 		}
 	case MsgCommit:
 		// The commit mutated every previously-marked line; sweep the ones we
 		// can still name (answers arrive per line via the cases above).
-		for base, e := range d.entries {
+		for id, base := range d.entBases {
+			e := d.entryAt(int32(id))
 			if e.marked || e.owner >= 0 {
 				a.checkEntry(d, base, e)
 			}
@@ -260,8 +261,8 @@ func (a *Auditor) final() *AuditError {
 		a.checks++
 		a.checkDir(d)
 		a.lastNSTID[d.node] = d.nstid
-		for base, e := range d.entries {
-			a.checkEntry(d, base, e)
+		for id, base := range d.entBases {
+			a.checkEntry(d, base, d.entryAt(int32(id)))
 			if a.err != nil {
 				break
 			}

@@ -82,6 +82,12 @@ type pendingLoad struct {
 	reqTID tid.TID
 }
 
+// stallQueue holds the loads waiting on one line base.
+type stallQueue struct {
+	base  mem.Addr
+	loads []pendingLoad
+}
+
 // DirStats are the per-directory counters behind Table 3's directory
 // columns.
 type DirStats struct {
@@ -112,8 +118,13 @@ type Directory struct {
 	// the Skip-Vector shift of Figure 5.
 	done bits.BitVec
 
-	entries   map[mem.Addr]*dirEntry
-	entrySlab []dirEntry // carved into entries on first touch, one alloc per block
+	// Entry storage: entIdx resolves a line base to a dense entry id with
+	// one multiplicative hash (no map on the hot path); entBases lists bases
+	// in id (first-touch) order for deterministic sweeps; the entry bodies
+	// live in fixed-size chunks so pointers taken by callers never move.
+	entIdx    mem.AddrIndex
+	entBases  []mem.Addr
+	entChunks [][]dirEntry
 	memory    *mem.Memory
 
 	markedLines      []mem.Addr // lines marked by the currently-serviced TID
@@ -123,8 +134,13 @@ type Directory struct {
 	commitFlushes    int        // outstanding old-owner flush-invalidates
 	pendingCommitTID tid.TID
 
-	probes        []pendingProbe
-	stalled       map[mem.Addr][]pendingLoad
+	probes   []pendingProbe
+	probeMin tid.TID // smallest TID among deferred probes (valid when probes is non-empty)
+	// stalled loads, grouped per line base. A dense slice beats a map here:
+	// the set is almost always empty or tiny, wakeups are keyed lookups, and
+	// the queue slices recycle through stallFree instead of being garbage.
+	stalls        []stallQueue
+	stallFree     [][]pendingLoad
 	nextFree      sim.Time // occupancy: the directory pipeline's next free cycle
 	sharerScratch []int    // reusable snapshot of a line's sharers
 
@@ -144,13 +160,11 @@ type Directory struct {
 
 func newDirectory(sys *System, node int) *Directory {
 	return &Directory{
-		sys:     sys,
-		k:       sys.kernel,
-		node:    node,
-		nstid:   1,
-		entries: make(map[mem.Addr]*dirEntry),
-		memory:  mem.NewMemory(sys.cfg.Geometry),
-		stalled: make(map[mem.Addr][]pendingLoad),
+		sys:    sys,
+		k:      sys.kernel,
+		node:   node,
+		nstid:  1,
+		memory: mem.NewMemory(sys.cfg.Geometry),
 	}
 }
 
@@ -160,18 +174,45 @@ func (d *Directory) NSTID() tid.TID { return d.nstid }
 // Stats returns a copy of the directory's counters.
 func (d *Directory) Stats() DirStats { return d.stats }
 
+// dirChunk is how many directory entries each storage chunk holds (a power
+// of two, so entryAt resolves an id with a shift and a mask).
+const (
+	dirChunkShift = 7
+	dirChunk      = 1 << dirChunkShift
+)
+
+// entryAt returns the entry body for a dense id.
+func (d *Directory) entryAt(id int32) *dirEntry {
+	return &d.entChunks[id>>dirChunkShift][id&(dirChunk-1)]
+}
+
+// entryCount returns the number of distinct lines this directory has seen.
+func (d *Directory) entryCount() int { return len(d.entBases) }
+
+// lookupEntry returns the entry for base without allocating one and without
+// charging a directory-cache access (the auditor's probe).
+func (d *Directory) lookupEntry(base mem.Addr) *dirEntry {
+	if id, ok := d.entIdx.Get(base); ok {
+		return d.entryAt(id)
+	}
+	return nil
+}
+
 // entry returns (allocating) the directory entry for a line base, charging
 // a directory-cache miss when the bounded cache does not hold it.
 func (d *Directory) entry(base mem.Addr) *dirEntry {
-	e, ok := d.entries[base]
-	if !ok {
-		if len(d.entrySlab) == 0 {
-			d.entrySlab = make([]dirEntry, 128)
+	var e *dirEntry
+	if id, ok := d.entIdx.Get(base); ok {
+		e = d.entryAt(id)
+	} else {
+		id := int32(len(d.entBases))
+		if id&(dirChunk-1) == 0 {
+			d.entChunks = append(d.entChunks, make([]dirEntry, dirChunk))
 		}
-		e = &d.entrySlab[0]
-		d.entrySlab = d.entrySlab[1:]
+		e = d.entryAt(id)
 		e.owner = -1
-		d.entries[base] = e
+		d.entIdx.Set(base, id)
+		d.entBases = append(d.entBases, base)
 	}
 	d.touchDirCache(base)
 	return e
@@ -329,19 +370,30 @@ func (d *Directory) tryAdvance() {
 // (NSTID >= probed TID). A write probe for a TID the directory has already
 // passed belongs to an aborted attempt; it is answered anyway and the
 // processor discards it by matching the probe's TID.
+//
+// probeMin — the smallest deferred TID — makes the common advance O(1):
+// NSTID ticks forward one accounted TID at a time, so most advances release
+// nothing and the queue must not be rescanned for each of them. Only when
+// the watermark is actually crossed does the scan (and min rebuild) run,
+// touching each pending probe once per releasing advance.
 func (d *Directory) answerProbes() {
-	if len(d.probes) == 0 {
+	if len(d.probes) == 0 || d.nstid < d.probeMin {
 		return
 	}
 	keep := d.probes[:0]
+	min := tid.TID(0)
 	for _, p := range d.probes {
 		if d.nstid >= p.t {
 			d.respondProbe(p)
 		} else {
+			if len(keep) == 0 || p.t < min {
+				min = p.t
+			}
 			keep = append(keep, p)
 		}
 	}
 	d.probes = keep
+	d.probeMin = min
 }
 
 func (d *Directory) respondProbe(p pendingProbe) {
@@ -384,6 +436,9 @@ func (d *Directory) execProbe(t tid.TID, write bool, from int) {
 	if d.nstid >= t {
 		d.respondProbe(p)
 		return
+	}
+	if len(d.probes) == 0 || t < d.probeMin {
+		d.probeMin = t
 	}
 	d.probes = append(d.probes, p)
 }
@@ -598,7 +653,7 @@ func (d *Directory) serveLoad(addr mem.Addr, from int, reqTID tid.TID, first boo
 		if first {
 			d.stats.LoadsStalled++
 		}
-		d.stalled[base] = append(d.stalled[base], pendingLoad{addr: addr, from: from, reqTID: reqTID})
+		d.stallOn(base, pendingLoad{addr: addr, from: from, reqTID: reqTID})
 	}
 
 	// A load from a transaction whose TID is lower than the marking TID
@@ -650,15 +705,39 @@ func (d *Directory) serveLoad(addr mem.Addr, from int, reqTID tid.TID, first boo
 	}
 }
 
+// stallOn queues a load on a line base, reusing a pooled queue slice.
+func (d *Directory) stallOn(base mem.Addr, pl pendingLoad) {
+	for i := range d.stalls {
+		if d.stalls[i].base == base {
+			d.stalls[i].loads = append(d.stalls[i].loads, pl)
+			return
+		}
+	}
+	var q []pendingLoad
+	if n := len(d.stallFree); n > 0 {
+		q = d.stallFree[n-1][:0]
+		d.stallFree = d.stallFree[:n-1]
+	}
+	d.stalls = append(d.stalls, stallQueue{base: base, loads: append(q, pl)})
+}
+
 // wakeStalled retries the loads queued on a line.
 func (d *Directory) wakeStalled(base mem.Addr) {
-	q := d.stalled[base]
-	if len(q) == 0 {
+	for i := range d.stalls {
+		if d.stalls[i].base != base {
+			continue
+		}
+		q := d.stalls[i].loads
+		// Detach the queue before replaying: a retried load may stall again
+		// on the same base, which must start a fresh queue.
+		last := len(d.stalls) - 1
+		d.stalls[i] = d.stalls[last]
+		d.stalls = d.stalls[:last]
+		for _, pl := range q {
+			d.serveLoad(pl.addr, pl.from, pl.reqTID, false)
+		}
+		d.stallFree = append(d.stallFree, q)
 		return
-	}
-	delete(d.stalled, base)
-	for _, pl := range q {
-		d.serveLoad(pl.addr, pl.from, pl.reqTID, false)
 	}
 }
 

@@ -94,9 +94,10 @@ type Processor struct {
 	tidDisposals int  // TID grants in flight that belong to violated attempts
 	keepTID      bool // retain the early TID across the upcoming restart
 	commitStart  sim.Time
-	writeLines   [][]writeLine // per home dir, lines to mark; reused across attempts
-	writeDirs    []int         // dirs with a non-empty writeLines entry, ascending
-	readDirs     []int         // probe scratch: read-set dirs outside the write-set
+	writeLines   [][]writeLine       // per home dir, lines to mark; reused across attempts
+	writeDirs    []int               // dirs with a non-empty writeLines entry, ascending
+	snapWrite    func(l *cache.Line) // write-set snapshot visitor, bound once
+	readDirs     []int               // probe scratch: read-set dirs outside the write-set
 
 	// Probe bookkeeping: pendTokW[d]/pendTokR[d] == valTok means directory d
 	// still owes this attempt a write/read probe answer. Bumping valTok at
@@ -119,7 +120,7 @@ type Processor struct {
 
 func newProcessor(sys *System, id int, prog workload.Program) *Processor {
 	cfg := sys.cfg
-	return &Processor{
+	p := &Processor{
 		sys:        sys,
 		k:          sys.kernel,
 		id:         id,
@@ -131,6 +132,17 @@ func newProcessor(sys *System, id int, prog workload.Program) *Processor {
 		pendTokW:   make([]uint64, cfg.Procs),
 		pendTokR:   make([]uint64, cfg.Procs),
 	}
+	p.snapWrite = func(l *cache.Line) {
+		if !l.SM.Any() {
+			return
+		}
+		home := p.homeOf(l.Base)
+		if len(p.writeLines[home]) == 0 {
+			p.writeDirs = append(p.writeDirs, home)
+		}
+		p.writeLines[home] = append(p.writeLines[home], writeLine{base: l.Base, words: l.SM})
+	}
+	return p
 }
 
 // Stats returns a copy of the processor's counters.
@@ -556,17 +568,9 @@ func (p *Processor) beginValidation() {
 	p.phase = phValidating
 	p.commitStart = p.k.Now()
 
-	// Snapshot the write-set grouped by home directory.
-	p.cache.ForEachSpeculative(func(l *cache.Line) {
-		if !l.SM.Any() {
-			return
-		}
-		home := p.homeOf(l.Base)
-		if len(p.writeLines[home]) == 0 {
-			p.writeDirs = append(p.writeDirs, home)
-		}
-		p.writeLines[home] = append(p.writeLines[home], writeLine{base: l.Base, words: l.SM})
-	})
+	// Snapshot the write-set grouped by home directory. The visitor is the
+	// pre-bound snapWrite closure so the per-commit walk allocates nothing.
+	p.cache.ForEachSpeculative(p.snapWrite)
 	sortInts(p.writeDirs)
 
 	switch {

@@ -121,7 +121,7 @@ func TestAuditCatchesCorruption(t *testing.T) {
 	}
 	// Corrupt: zero one committed word in some directory's memory.
 	for _, d := range sys.dirs {
-		for base := range d.entries {
+		for _, base := range d.entBases {
 			line := d.memory.Line(base)
 			for w := range line {
 				if line[w] != 0 {

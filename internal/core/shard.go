@@ -375,7 +375,10 @@ func (s *System) mergeWindow(start, end sim.Time, active []int) {
 // deliverSend routes one captured cross-node message through the mesh link
 // model and posts its arrival into the destination node's kernel. The
 // payload snapshot moves from a sender-pool buffer to a destination-pool
-// buffer so every pool stays single-owner.
+// buffer so every pool stays single-owner. (Moving the buffer itself —
+// adopting it into the destination's pool — measures worse: hotspot traffic
+// is asymmetric, so donor pools drain and re-allocate faster than the
+// one-line copy costs.)
 func (s *System) deliverSend(e *sendEffect) {
 	src, dst := int(e.msg.src), int(e.msg.dst)
 	arrival := s.net.RouteAt(e.t, src, dst, s.cfg.size(e.msg.kind), class(e.msg.kind))

@@ -235,7 +235,7 @@ func (s *System) sampleTick() {
 		if s.cfg.DirCacheEntries > 0 {
 			smp.DirEntries += len(d.dirCacheLRU)
 		} else {
-			smp.DirEntries += len(d.entries)
+			smp.DirEntries += d.entryCount()
 		}
 		busy += d.stats.BusyCycles
 	}
@@ -497,7 +497,7 @@ func (s *System) deadlockReport() string {
 	for _, d := range s.dirs {
 		out += fmt.Sprintf("  dir %d: nstid=%d commitBusy=%v acks=%d flushes=%d probes=%d stalled=%d doneBits=%d\n",
 			d.node, d.nstid, d.commitBusy, d.commitAcks, d.commitFlushes,
-			len(d.probes), len(d.stalled), d.done.PopCount())
+			len(d.probes), len(d.stalls), d.done.PopCount())
 	}
 	return out
 }

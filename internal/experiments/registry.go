@@ -134,6 +134,14 @@ func Registry() []Experiment {
 			PrintDirCache(w, rows)
 			return nil
 		}, dircacheJobs},
+		{"hotpath", "simulator hot-path trajectory (gate benches, min-of-3 wall)", func(o Options, w io.Writer) error {
+			rows, err := Hotpath(o)
+			if err != nil {
+				return err
+			}
+			PrintHotpath(w, rows)
+			return nil
+		}, hotpathJobs},
 	}
 }
 

@@ -115,12 +115,17 @@ func sweepOptions(sw *runner.SweepSpec) Options {
 	return o
 }
 
-// sweepExpOptions applies the per-experiment quirk tccbench has always had:
-// Table 3 reports at 32 CPUs unless the caller pinned the machine size.
+// sweepExpOptions applies the per-experiment quirks tccbench has always
+// had: Table 3 reports at 32 CPUs unless the caller pinned the machine
+// size, and the hotpath bench rows run at their pinned workload scale so
+// checkpoint resume reruns missing cells at the scale the fresh path used.
 func sweepExpOptions(base Options, sw *runner.SweepSpec, name string) Options {
 	o := base
 	if name == "table3" && sw.MaxProcs == 0 {
 		o.MaxProcs = 32 // the paper reports Table 3 at 32 CPUs
+	}
+	if name == "hotpath" {
+		o.Scale = hotpathBenchScale // comparability with BENCH_soa.json is the point
 	}
 	return o
 }

@@ -1,0 +1,110 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAddrIndexBasic(t *testing.T) {
+	var x AddrIndex
+	if _, ok := x.Get(32); ok {
+		t.Fatal("empty index reported a hit")
+	}
+	x.Set(32, 1)
+	x.Set(64, 2)
+	x.Set(32, 3) // overwrite
+	if x.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", x.Len())
+	}
+	if id, ok := x.Get(32); !ok || id != 3 {
+		t.Fatalf("Get(32) = %d,%v, want 3,true", id, ok)
+	}
+	if id, ok := x.Get(64); !ok || id != 2 {
+		t.Fatalf("Get(64) = %d,%v, want 2,true", id, ok)
+	}
+	if !x.Del(32) || x.Del(32) {
+		t.Fatal("Del(32) should succeed exactly once")
+	}
+	if _, ok := x.Get(32); ok {
+		t.Fatal("deleted key still present")
+	}
+	if id, ok := x.Get(64); !ok || id != 2 {
+		t.Fatal("Del disturbed an unrelated key")
+	}
+	x.Reset()
+	if x.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", x.Len())
+	}
+	if _, ok := x.Get(64); ok {
+		t.Fatal("Reset left a key visible")
+	}
+}
+
+// TestAddrIndexVsMap drives the index and a Go map through the same random
+// operation stream — inserts, overwrites, deletes, resets — and checks they
+// agree after every step. Line-stride addresses from a small range force
+// probe-chain collisions so backward-shift deletion is exercised.
+func TestAddrIndexVsMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var x AddrIndex
+	ref := map[Addr]int32{}
+	keys := make([]Addr, 0, 512)
+	for step := 0; step < 20000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5: // insert/overwrite
+			a := Addr(rng.Intn(400)) * 32
+			v := int32(rng.Intn(1 << 20))
+			if _, ok := ref[a]; !ok {
+				keys = append(keys, a)
+			}
+			ref[a] = v
+			x.Set(a, v)
+		case op < 8: // delete (sometimes a missing key)
+			a := Addr(rng.Intn(500)) * 32
+			_, want := ref[a]
+			if got := x.Del(a); got != want {
+				t.Fatalf("step %d: Del(%d) = %v, want %v", step, a, got, want)
+			}
+			delete(ref, a)
+		case op < 9: // point lookup of a random known key
+			if len(keys) == 0 {
+				continue
+			}
+			a := keys[rng.Intn(len(keys))]
+			wantV, want := ref[a]
+			gotV, got := x.Get(a)
+			if got != want || (got && gotV != wantV) {
+				t.Fatalf("step %d: Get(%d) = %d,%v, want %d,%v", step, a, gotV, got, wantV, want)
+			}
+		default: // occasional wholesale reset
+			x.Reset()
+			ref = map[Addr]int32{}
+			keys = keys[:0]
+		}
+		if x.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, want %d", step, x.Len(), len(ref))
+		}
+	}
+	for a, wantV := range ref {
+		if gotV, ok := x.Get(a); !ok || gotV != wantV {
+			t.Fatalf("final: Get(%d) = %d,%v, want %d,true", a, gotV, ok, wantV)
+		}
+	}
+}
+
+func TestAddrIndexGenerationWrap(t *testing.T) {
+	var x AddrIndex
+	x.Set(96, 7)
+	x.gen = ^uint32(0) // force the wrap path on the next Reset
+	x.Reset()
+	if x.gen != 1 {
+		t.Fatalf("gen after wrap = %d, want 1", x.gen)
+	}
+	if _, ok := x.Get(96); ok {
+		t.Fatal("stale entry visible after generation wrap")
+	}
+	x.Set(96, 9)
+	if id, ok := x.Get(96); !ok || id != 9 {
+		t.Fatalf("Get after wrap = %d,%v, want 9,true", id, ok)
+	}
+}

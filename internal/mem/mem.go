@@ -70,7 +70,7 @@ func (g Geometry) Page(a Addr) Addr { return a &^ Addr(g.PageSize-1) }
 type Map struct {
 	geom  Geometry
 	nodes int
-	home  map[Addr]int
+	home  AddrIndex // page base -> home node, stored as the index id
 }
 
 // NewMap returns a first-touch map over the given node count.
@@ -78,7 +78,7 @@ func NewMap(g Geometry, nodes int) *Map {
 	if nodes <= 0 {
 		panic("mem: node count must be positive")
 	}
-	return &Map{geom: g, nodes: nodes, home: make(map[Addr]int)}
+	return &Map{geom: g, nodes: nodes}
 }
 
 // Geometry returns the map's geometry.
@@ -91,33 +91,34 @@ func (m *Map) Nodes() int { return m.nodes }
 // first touch.
 func (m *Map) Home(a Addr, toucher int) int {
 	p := m.geom.Page(a)
-	if h, ok := m.home[p]; ok {
-		return h
+	if h, ok := m.home.Get(p); ok {
+		return int(h)
 	}
 	h := toucher % m.nodes
-	m.home[p] = h
+	m.home.Set(p, int32(h))
 	return h
 }
 
 // HomeIfMapped returns the home of a and whether its page has been touched.
 func (m *Map) HomeIfMapped(a Addr) (int, bool) {
-	h, ok := m.home[m.geom.Page(a)]
-	return h, ok
+	h, ok := m.home.Get(m.geom.Page(a))
+	return int(h), ok
 }
 
 // Pages returns the number of mapped pages.
-func (m *Map) Pages() int { return len(m.home) }
+func (m *Map) Pages() int { return m.home.Len() }
 
 // Memory is the versioned backing store for the lines homed at one node.
 type Memory struct {
-	geom  Geometry
-	lines map[Addr][]Version
-	slab  []Version // backing store carved into lines on first touch
+	geom Geometry
+	idx  AddrIndex   // line base -> position in data
+	data [][]Version // dense line storage, slices into slab carves
+	slab []Version   // backing store carved into lines on first touch
 }
 
 // NewMemory returns an empty memory bank.
 func NewMemory(g Geometry) *Memory {
-	return &Memory{geom: g, lines: make(map[Addr][]Version)}
+	return &Memory{geom: g}
 }
 
 // memorySlabLines is how many lines each backing slab holds; first-touch
@@ -128,8 +129,8 @@ const memorySlabLines = 256
 // all-zero initial line on first access. The returned slice is live; callers
 // may mutate it to model committed writes reaching memory.
 func (m *Memory) Line(base Addr) []Version {
-	if l, ok := m.lines[base]; ok {
-		return l
+	if id, ok := m.idx.Get(base); ok {
+		return m.data[id]
 	}
 	wpl := m.geom.WordsPerLine()
 	if len(m.slab) < wpl {
@@ -137,7 +138,8 @@ func (m *Memory) Line(base Addr) []Version {
 	}
 	l := m.slab[:wpl:wpl]
 	m.slab = m.slab[wpl:]
-	m.lines[base] = l
+	m.idx.Set(base, int32(len(m.data)))
+	m.data = append(m.data, l)
 	return l
 }
 
@@ -179,4 +181,4 @@ func (m *Memory) MergeMonotonic(base Addr, mask uint64, data []Version) int {
 }
 
 // Lines returns the number of distinct lines ever touched.
-func (m *Memory) Lines() int { return len(m.lines) }
+func (m *Memory) Lines() int { return m.idx.Len() }

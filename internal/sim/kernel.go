@@ -100,12 +100,14 @@ type Kernel struct {
 	// min-heap on (at, seq).
 	over []event
 
-	// cur is the drain buffer: the current cycle's bucket is copied here (in
-	// sequence order) so dispatch never touches queue structure between
-	// same-cycle events; curIdx is the next undispatched slot. Handlers
-	// posting back into the current cycle append to the (now empty) ring
-	// bucket, which is drained next.
-	cur    []event
+	// cur is the drain buffer: the current cycle's bucket is unlinked into it
+	// (in sequence order) as 1-based node indices, so dispatch never touches
+	// queue structure between same-cycle events and never copies the
+	// pointer-carrying event bodies; curIdx is the next undispatched slot.
+	// Nodes return to the free list as they are dispatched. Handlers posting
+	// back into the current cycle append to the (now empty) ring bucket,
+	// which is drained next.
+	cur    []int32
 	curIdx int
 
 	now  Time
@@ -124,27 +126,40 @@ func (k *Kernel) Pending() int {
 	return k.inWheel + len(k.over) + (len(k.cur) - k.curIdx)
 }
 
-// schedule assigns the tie-break sequence number and enqueues e at t.
+// schedule assigns the tie-break sequence number and enqueues an event at t.
 // Scheduling in the past is a programming error and panics: protocol
 // components must never violate causality, and silently clamping would hide
-// bugs.
-func (k *Kernel) schedule(t Time, e event) {
+// bugs. Wheel-resident events are written field-by-field into their slab
+// node — the scalar payload takes no write barriers, only the one handler
+// (or closure) pointer does — instead of bulk-copying an event value.
+func (k *Kernel) schedule(t Time, h Handler, fn func(), code uint32, a1, a2 uint64) {
 	if t < k.now {
 		panic("sim: event scheduled in the past")
 	}
 	k.seq++
-	e.at = t
-	e.seq = k.seq
-	if t-k.base < wheelSize {
-		k.bucketPut(e)
-	} else {
-		k.overPush(e)
+	if t-k.base >= wheelSize {
+		k.overPush(event{at: t, seq: k.seq, h: h, fn: fn, code: code, a1: a1, a2: a2})
+		return
 	}
+	nd := &k.nodes[k.bucketNode(t)-1]
+	nd.ev.at = t
+	nd.ev.seq = k.seq
+	nd.ev.h = h
+	nd.ev.fn = fn
+	nd.ev.code = code
+	nd.ev.a1 = a1
+	nd.ev.a2 = a2
 }
 
-// bucketPut appends e to its ring bucket and marks the bucket occupied.
+// bucketPut appends e to its ring bucket (overflow-migration path).
 // The caller guarantees e.at is within the wheel's current window.
 func (k *Kernel) bucketPut(e event) {
+	k.nodes[k.bucketNode(e.at)-1].ev = e
+}
+
+// bucketNode links a fresh slab node onto the bucket for time t and returns
+// its 1-based index; the caller fills the event body.
+func (k *Kernel) bucketNode(t Time) int32 {
 	var n int32
 	if k.free != 0 {
 		n = k.free
@@ -153,18 +168,17 @@ func (k *Kernel) bucketPut(e event) {
 		k.nodes = append(k.nodes, node{})
 		n = int32(len(k.nodes))
 	}
-	nd := &k.nodes[n-1]
-	nd.ev = e
-	nd.next = 0
-	i := int(e.at) & wheelMask
-	if t := k.tail[i]; t != 0 {
-		k.nodes[t-1].next = n
+	k.nodes[n-1].next = 0
+	i := int(t) & wheelMask
+	if tl := k.tail[i]; tl != 0 {
+		k.nodes[tl-1].next = n
 	} else {
 		k.head[i] = n
 		k.occ[i>>6] |= 1 << (i & 63)
 	}
 	k.tail[i] = n
 	k.inWheel++
+	return n
 }
 
 // advance moves the wheel's window to [t, t+wheelSize) and migrates every
@@ -203,12 +217,7 @@ func (k *Kernel) scanDist() int {
 // refill loads the next non-empty bucket into the drain buffer and advances
 // the clock to its cycle. It reports false when no events are pending.
 func (k *Kernel) refill() bool {
-	if len(k.cur) > 0 {
-		// Drop handler/closure references from the dispatched events before
-		// the drain buffer is reused.
-		clear(k.cur)
-		k.cur = k.cur[:0]
-	}
+	k.cur = k.cur[:0]
 	k.curIdx = 0
 	if k.inWheel == 0 {
 		if len(k.over) == 0 {
@@ -223,31 +232,40 @@ func (k *Kernel) refill() bool {
 	return true
 }
 
-// drainBucket copies the current cycle's bucket into the drain buffer in
-// FIFO (sequence) order and returns its nodes to the free list.
+// drainBucket unlinks the current cycle's bucket into the drain buffer in
+// FIFO (sequence) order. Event bodies stay in their slab nodes — the buffer
+// records indices — and each node returns to the free list when dispatch
+// consumes it, so draining moves no pointer-carrying values.
 func (k *Kernel) drainBucket() {
 	i := int(k.base) & wheelMask
 	for h := k.head[i]; h != 0; {
 		nd := &k.nodes[h-1]
-		k.cur = append(k.cur, nd.ev)
-		next := nd.next
-		// Only the reference-carrying fields need dropping before the node
-		// is recycled; payload words are overwritten on reuse.
-		nd.ev.h = nil
-		nd.ev.fn = nil
-		nd.next = k.free
-		k.free = h
-		h = next
+		k.cur = append(k.cur, h)
+		h = nd.next
 		k.inWheel--
 	}
 	k.head[i], k.tail[i] = 0, 0
 	k.occ[i>>6] &^= 1 << (i & 63)
 }
 
+// take reads the event fields out of slab node n and recycles it before
+// dispatch: the handler may post new events, and the node must already be
+// reusable. Only the reference-carrying fields need dropping; payload words
+// are overwritten on reuse.
+func (k *Kernel) take(n int32) (h Handler, fn func(), code uint32, a1, a2 uint64) {
+	nd := &k.nodes[n-1]
+	h, fn, code, a1, a2 = nd.ev.h, nd.ev.fn, nd.ev.code, nd.ev.a1, nd.ev.a2
+	nd.ev.h = nil
+	nd.ev.fn = nil
+	nd.next = k.free
+	k.free = n
+	return
+}
+
 // peekTime returns the earliest pending event time.
 func (k *Kernel) peekTime() (Time, bool) {
 	if k.curIdx < len(k.cur) {
-		return k.cur[k.curIdx].at, true
+		return k.nodes[k.cur[k.curIdx]-1].ev.at, true
 	}
 	if k.inWheel > 0 {
 		return k.base + Time(k.scanDist()), true
@@ -261,7 +279,7 @@ func (k *Kernel) peekTime() (Time, bool) {
 // Post schedules a typed event: at time t, h.HandleEvent(code, a1, a2) runs.
 // This is the allocation-free hot path — the event is stored by value.
 func (k *Kernel) Post(t Time, h Handler, code uint32, a1, a2 uint64) {
-	k.schedule(t, event{h: h, code: code, a1: a1, a2: a2})
+	k.schedule(t, h, nil, code, a1, a2)
 }
 
 // PostAfter schedules a typed event d cycles from now.
@@ -271,7 +289,7 @@ func (k *Kernel) PostAfter(d Time, h Handler, code uint32, a1, a2 uint64) {
 
 // At schedules fn to run at absolute time t. Closure form; cold paths only.
 func (k *Kernel) At(t Time, fn func()) {
-	k.schedule(t, event{fn: fn})
+	k.schedule(t, nil, fn, 0, 0, 0)
 }
 
 // After schedules fn to run d cycles from now.
@@ -283,13 +301,13 @@ func (k *Kernel) Step() bool {
 	if k.curIdx >= len(k.cur) && !k.refill() {
 		return false
 	}
-	e := &k.cur[k.curIdx]
+	h, fn, code, a1, a2 := k.take(k.cur[k.curIdx])
 	k.curIdx++
 	k.nRun++
-	if e.h != nil {
-		e.h.HandleEvent(e.code, e.a1, e.a2)
+	if h != nil {
+		h.HandleEvent(code, a1, a2)
 	} else {
-		e.fn()
+		fn()
 	}
 	return true
 }
@@ -305,13 +323,13 @@ func (k *Kernel) StepCycle() bool {
 	}
 	for {
 		for k.curIdx < len(k.cur) {
-			e := &k.cur[k.curIdx]
+			h, fn, code, a1, a2 := k.take(k.cur[k.curIdx])
 			k.curIdx++
 			k.nRun++
-			if e.h != nil {
-				e.h.HandleEvent(e.code, e.a1, e.a2)
+			if h != nil {
+				h.HandleEvent(code, a1, a2)
 			} else {
-				e.fn()
+				fn()
 			}
 		}
 		// Handlers may have posted back into the current cycle; its ring
@@ -320,7 +338,6 @@ func (k *Kernel) StepCycle() bool {
 		if k.occ[i>>6]&(1<<(i&63)) == 0 {
 			return true
 		}
-		clear(k.cur)
 		k.cur = k.cur[:0]
 		k.curIdx = 0
 		k.drainBucket()

@@ -65,6 +65,10 @@ type Program interface {
 	Procs() int
 	Phases() int
 	TxCount(proc, phase int) int
+	// Tx generates one transaction. The returned Tx.Ops remains valid only
+	// until the next Tx call for the same proc — implementations may reuse
+	// per-processor scratch buffers. Calls for distinct procs are safe from
+	// distinct goroutines.
 	Tx(proc, phase, idx int) Tx
 	// PreMap establishes the NUMA homing an initialization phase would have
 	// produced under first-touch (private data at its owner, shared segments
@@ -135,6 +139,20 @@ type program struct {
 	base  *sim.RNG
 	// txs[proc][phase] is the transaction count.
 	txs [][]int
+	// scratch[proc] holds the reusable Tx-generation buffers; each Tx call
+	// for a proc recycles that proc's previous Ops slice (see Program.Tx).
+	scratch []txScratch
+}
+
+// txAccess is one generated memory access before read/write interleaving.
+type txAccess struct {
+	addr  mem.Addr
+	write bool
+}
+
+type txScratch struct {
+	acc []txAccess
+	ops []Op
 }
 
 // Build instantiates the profile for a processor count and seed.
@@ -146,7 +164,7 @@ func (p Profile) Build(procs int, seed uint64) Program {
 	if phases <= 0 {
 		phases = 1
 	}
-	prog := &program{Profile: p, procs: procs, seed: seed, base: sim.NewRNG(seed)}
+	prog := &program{Profile: p, procs: procs, seed: seed, base: sim.NewRNG(seed), scratch: make([]txScratch, procs)}
 	prog.NumPhases = phases
 
 	// Distribute TotalTx across phases and processors, applying the
@@ -288,12 +306,10 @@ func (p *program) Tx(proc, phase, idx int) Tx {
 	computeBudget := instr - memOps
 
 	// Build the memory-op address stream with spatial locality: runs of
-	// consecutive words starting at a drawn address.
-	type access struct {
-		addr  mem.Addr
-		write bool
-	}
-	accesses := make([]access, 0, memOps)
+	// consecutive words starting at a drawn address. Buffers come from the
+	// proc's scratch so steady-state generation allocates nothing.
+	sc := &p.scratch[proc]
+	accesses := sc.acc[:0]
 	run := p.runLen()
 	emit := func(n int, write bool) {
 		for n > 0 {
@@ -303,7 +319,7 @@ func (p *program) Tx(proc, phase, idx int) Tx {
 				l = n
 			}
 			for i := 0; i < l; i++ {
-				accesses = append(accesses, access{base + mem.Addr(4*i), write})
+				accesses = append(accesses, txAccess{base + mem.Addr(4*i), write})
 			}
 			n -= l
 		}
@@ -316,8 +332,10 @@ func (p *program) Tx(proc, phase, idx int) Tx {
 		accesses[i], accesses[j] = accesses[j], accesses[i]
 	}
 
+	sc.acc = accesses
+
 	// Spread the compute budget across the memory ops.
-	ops := make([]Op, 0, 2*len(accesses)+1)
+	ops := sc.ops[:0]
 	per := 0
 	if len(accesses) > 0 {
 		per = computeBudget / len(accesses)
@@ -341,6 +359,7 @@ func (p *program) Tx(proc, phase, idx int) Tx {
 	if len(accesses) == 0 && computeBudget > 0 {
 		ops = append(ops, Op{Kind: Compute, Cycles: uint32(computeBudget)})
 	}
+	sc.ops = ops
 	return Tx{Ops: ops}
 }
 

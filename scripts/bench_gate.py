@@ -4,9 +4,11 @@
 Parses `go test -bench` output (one or more files, already -benchmem) and
 compares the best (minimum) ns/op per benchmark against the recorded
 baselines: the `after` blocks of BENCH_wheel.json (kernel/mesh hot paths),
-BENCH_protocols_gate.json (per-protocol simulator baselines), and
-BENCH_shard.json (sequential vs epoch-parallel kernel), falling back to the
-`after` block of BENCH_hotpath.json. Fails on
+BENCH_protocols_gate.json (per-protocol simulator baselines),
+BENCH_shard.json (sequential vs epoch-parallel kernel), and BENCH_soa.json
+(third-generation fast path: throughput, commit, and abort latency — loaded
+last, so it supersedes same-named entries), falling back to the `after`
+block of BENCH_hotpath.json. Fails on
 
   * ns/op more than THRESHOLD (default 15%) above the baseline, or
   * any allocation on the zero-alloc hot paths (kernel post/step, mesh send).
@@ -40,8 +42,9 @@ def load_baselines():
     """Load recorded baselines, failing loudly on anything unexpected.
 
     BENCH_wheel.json (kernel/mesh hot paths), BENCH_protocols_gate.json
-    (per-protocol simulator runs), and BENCH_shard.json (sequential vs
-    epoch-parallel kernel) are REQUIRED: silently skipping a missing or
+    (per-protocol simulator runs), BENCH_shard.json (sequential vs
+    epoch-parallel kernel), and BENCH_soa.json (third-generation fast path,
+    including the abort-latency gate) are REQUIRED: silently skipping a missing or
     malformed file would turn the gate into a no-op that reports every
     benchmark as "informational" and passes. Only BENCH_hotpath.json (a
     superseded earlier baseline) is optional, and even it must parse if
@@ -53,6 +56,7 @@ def load_baselines():
         ("BENCH_wheel.json", True),
         ("BENCH_protocols_gate.json", True),
         ("BENCH_shard.json", True),
+        ("BENCH_soa.json", True),
     ):
         path = os.path.join(REPO, name)
         if not os.path.exists(path):
