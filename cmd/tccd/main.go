@@ -3,7 +3,11 @@
 // (scalabletcc/job v1: single runs, experiment sweeps, fuzz campaigns),
 // poll status, stream live protocol events over SSE, and fetch typed
 // results. Sweep jobs checkpoint each completed cell to the state
-// directory, so a restarted daemon resumes them instead of recomputing.
+// directory, and run jobs with checkpoint_every set snapshot the full
+// simulator state every N cycles, so a restarted daemon resumes them
+// instead of recomputing — a resumed run replays to byte-identical
+// results. A checkpointed run can also be forked: a new job continues
+// from the parent's latest snapshot under edited timing knobs.
 //
 // Usage:
 //
@@ -18,6 +22,7 @@
 //	GET  /v1/jobs/{id}/events live event stream (SSE, scalabletcc/events v1)
 //	GET  /v1/jobs/{id}/result status + result; 409 until terminal
 //	POST /v1/jobs/{id}/cancel cancel a queued or running job
+//	POST /v1/jobs/{id}/fork   new job from {id}'s latest checkpoint snapshot
 //	GET  /v1/protocols        the protocol registry
 //	GET  /v1/profiles         the workload-profile registry
 //	GET  /healthz             liveness + queue depth
@@ -47,9 +52,15 @@ const runWatchdogCycles = 50_000_000_000
 
 func main() {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:8077", "listen address")
-		capacity   = flag.Int("queue", 16, "max queued (not yet running) jobs; beyond it POST /v1/jobs answers 429")
-		workers    = flag.Int("workers", 1, "jobs run concurrently (each sweep still fans its cells across cores)")
+		addr = flag.String("addr", "127.0.0.1:8077", "listen address")
+		// The defaults are sized by the daemon load test
+		// (TestDaemonLoadManySmallJobs): 2000 small run jobs from 64
+		// concurrent submitters drain without a single 429 at queue 64 /
+		// workers 4, where the old 16/1 refused hundreds. Sweep-heavy
+		// deployments may prefer -workers 1, since each sweep already fans
+		// its cells across cores.
+		capacity   = flag.Int("queue", 64, "max queued (not yet running) jobs; beyond it POST /v1/jobs answers 429")
+		workers    = flag.Int("workers", 4, "jobs run concurrently (each sweep still fans its cells across cores)")
 		jobTimeout = flag.Duration("job-timeout", 0, "wall-clock guard per job, e.g. 2h (0 = none)")
 		stateDir   = flag.String("state", "", "state directory: persists specs, checkpoints, and results; enables restart resume")
 	)
@@ -67,6 +78,7 @@ func main() {
 		JobTimeout: *jobTimeout,
 		StateDir:   *stateDir,
 		Validate:   tcc.ValidateJobSpec,
+		ForkPrep:   tcc.PrepareForkJob,
 	}, executeJob)
 
 	if *stateDir != "" {
@@ -103,9 +115,13 @@ func main() {
 }
 
 // executeJob is the daemon's executor: tcc.ExecuteJob with the service-side
-// watchdog default for run jobs.
+// watchdog default for run jobs. Checkpointed run jobs keep their spec
+// verbatim — the checkpoint manifest header binds the spec hash, so editing
+// the spec here would orphan the job's own snapshots on resume and fork —
+// and they are interruptible by construction, which is what the watchdog
+// exists to guarantee.
 func executeJob(ctx context.Context, spec *runner.JobSpec, jc *runner.JobContext) (*runner.JobResult, error) {
-	if spec.Kind == runner.KindRun && spec.Run != nil && spec.Run.MaxCycles == 0 {
+	if spec.Kind == runner.KindRun && spec.Run != nil && spec.Run.MaxCycles == 0 && spec.Run.CheckpointEvery == 0 {
 		guarded := *spec
 		run := *spec.Run
 		run.MaxCycles = runWatchdogCycles

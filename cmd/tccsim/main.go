@@ -12,6 +12,12 @@
 //	tccsim -app barnes -procs 32
 //	tccsim -app hotspot -procs 16 -granularity line -verify
 //	tccsim -app swim -procs 64 -hop 8 -scale 0.5
+//	tccsim -app barnes -procs 32 -checkpoint run.ckpt -checkpoint-every 100000
+//
+// With -checkpoint/-checkpoint-every the run snapshots its full simulator
+// state into a crash-safe manifest every N cycles; rerunning the same
+// command after an interruption resumes from the latest snapshot and
+// produces byte-identical output to an uninterrupted run.
 package main
 
 import (
@@ -48,6 +54,8 @@ func main() {
 		traceFor = flag.String("tracefilter", "", "only print trace lines containing this substring")
 		traceOut = flag.String("trace-json", "", "write every protocol event as JSON Lines to this file (- for stdout)")
 		sample   = flag.Uint64("sample", 0, "with -trace-json: emit a machine-occupancy sample every N cycles")
+		ckpt     = flag.String("checkpoint", "", "checkpoint manifest path: snapshot into it as the run progresses, resume from it when rerun")
+		ckptN    = flag.Uint64("checkpoint-every", 0, "with -checkpoint: snapshot the full simulator state every N cycles")
 	)
 	flag.Parse()
 
@@ -89,6 +97,16 @@ func main() {
 	opts := &tcc.RunJobOptions{EventWriter: sink}
 
 	scalable := !*basel && *protocol == "tcc"
+	if (*ckpt != "") != (*ckptN > 0) {
+		exitOn(fmt.Errorf("-checkpoint and -checkpoint-every go together"))
+	}
+	if *ckptN > 0 {
+		if !scalable {
+			exitOn(fmt.Errorf("-checkpoint requires the scalable machine (protocol tcc)"))
+		}
+		spec.Run.CheckpointEvery = *ckptN
+		opts.CheckpointPath = *ckpt
+	}
 	switch {
 	case *basel:
 		if *sample > 0 {

@@ -63,9 +63,9 @@ func postSpec(t *testing.T, srv *httptest.Server, spec *runner.JobSpec) (*runner
 // collectSSE reads the job's full SSE stream and reconstructs the
 // scalabletcc/events v1 JSONL bytes from the data frames, returning them
 // alongside the terminal state announced by the done frame.
-func collectSSE(t *testing.T, srv *httptest.Server, id string) ([]byte, string) {
+func collectSSE(t *testing.T, base, id string) ([]byte, string) {
 	t.Helper()
-	resp, err := http.Get(srv.URL + "/v1/jobs/" + id + "/events")
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/events")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +148,7 @@ func TestDaemonLifecycle(t *testing.T) {
 		t.Fatalf("submit status %+v", st)
 	}
 
-	jsonl, state := collectSSE(t, srv, st.ID)
+	jsonl, state := collectSSE(t, srv.URL, st.ID)
 	if state != runner.StateDone {
 		t.Fatalf("done frame reports state %q", state)
 	}

@@ -1,0 +1,31 @@
+package bits
+
+// Words returns a copy of the vector's backing words for serialization.
+// Trailing zero words are trimmed so equal vectors snapshot identically.
+func (v *BitVec) Words() []uint64 {
+	n := len(v.w)
+	for n > 0 && v.w[n-1] == 0 {
+		n--
+	}
+	return append([]uint64(nil), v.w[:n]...)
+}
+
+// LoadWords replaces the vector's contents with the given words.
+func (v *BitVec) LoadWords(w []uint64) {
+	v.w = append(v.w[:0], w...)
+}
+
+// Words returns a copy of the set's backing words for serialization, with
+// trailing zero words trimmed.
+func (s *NodeSet) Words() []uint64 {
+	n := len(s.w)
+	for n > 0 && s.w[n-1] == 0 {
+		n--
+	}
+	return append([]uint64(nil), s.w[:n]...)
+}
+
+// LoadWords replaces the set's contents with the given words.
+func (s *NodeSet) LoadWords(w []uint64) {
+	s.w = append(s.w[:0], w...)
+}

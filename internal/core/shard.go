@@ -235,8 +235,10 @@ func (s *System) runSharded() (*Results, error) {
 		return nil, fmt.Errorf("core: the occupancy sampler requires Shards = 0 (sequential kernel)")
 	}
 	s.running = s.cfg.Procs
-	for _, p := range s.procs {
-		s.ports[p.id].k.Post(0, p, prStart, 0, 0)
+	if !s.restored {
+		for _, p := range s.procs {
+			s.ports[p.id].k.Post(0, p, prStart, 0, 0)
+		}
 	}
 	ks := make([]*sim.Kernel, len(s.ports))
 	for i, np := range s.ports {
@@ -248,13 +250,15 @@ func (s *System) runSharded() (*Results, error) {
 		Window:  s.cfg.Mesh.HopLatency,
 		Merge:   s.mergeWindow,
 	}
-	if s.cfg.MaxCycles > 0 {
+	if s.cfg.MaxCycles > 0 || s.ckFn != nil {
+		// Check runs serially at the start of each epoch, after the previous
+		// window's merge — the sharded engine's quiescent cut.
 		ex.Check = func(now sim.Time) error {
-			if now > s.cfg.MaxCycles {
+			if s.cfg.MaxCycles > 0 && now > s.cfg.MaxCycles {
 				return fmt.Errorf("core: watchdog expired at cycle %d (%d procs still running)",
 					now, s.running)
 			}
-			return nil
+			return s.maybeCheckpoint(now)
 		}
 	}
 	if err := ex.Run(); err != nil {

@@ -1,0 +1,978 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"scalabletcc/internal/bits"
+	"scalabletcc/internal/cache"
+	"scalabletcc/internal/mem"
+	"scalabletcc/internal/mesh"
+	"scalabletcc/internal/sim"
+	"scalabletcc/internal/tid"
+	"scalabletcc/internal/workload"
+)
+
+// Kernel-level checkpoints: a versioned snapshot of the full simulator state,
+// taken at a quiescent cut, from which a fresh System replays the remainder
+// of the run byte-identically.
+//
+// A quiescent cut is a point where every kernel is between dispatch batches:
+// sequentially, between StepCycle iterations of Run's loop; under the sharded
+// executor, inside a ShardExec.Check callback (the serial start of an epoch,
+// after the previous window's merge drained every port). At such a cut all
+// in-flight protocol messages are pool records referenced by exactly one
+// pending event — a sysMsg arrival, a dirExec pipeline stage, a prepared
+// dirMemReady response, or a portMsg delivery — so the snapshot inlines each
+// message payload into its event record and the restore re-allocates pool
+// slots in event order, rewriting the event argument to the new slot.
+//
+// The snapshot captures only *observable* state. Allocator layout — pool
+// free-list order, slab capacities, slot numbers, arena watermarks, cache
+// block-allocation order — is excluded throughout: none of it affects which
+// event, victim, or line any future step chooses, so a restored System is
+// behaviourally identical without being bit-identical in memory. Features
+// that hold state outside this snapshot (the invariant auditor, TAPE
+// profiling, the periodic sampler — the last also schedules closure events
+// the kernel cannot serialize) are rejected for checkpointable runs.
+
+// Checkpoint schema identification.
+const (
+	KernelCheckpointSchema  = "scalabletcc/kernel-checkpoint"
+	KernelCheckpointVersion = 1
+)
+
+// KernelClock is one kernel's clock state.
+type KernelClock struct {
+	Now  sim.Time `json:"now"`
+	Seq  uint64   `json:"seq"`
+	NRun uint64   `json:"nrun"`
+}
+
+// MsgState is one in-flight protocol message, inlined into the event that
+// references it.
+type MsgState struct {
+	Kind   MsgKind       `json:"kind"`
+	Src    int32         `json:"src"`
+	Dst    int32         `json:"dst"`
+	Addr   mem.Addr      `json:"addr,omitempty"`
+	T      tid.TID       `json:"t,omitempty"`
+	T2     tid.TID       `json:"t2,omitempty"`
+	Words  bits.WordMask `json:"words,omitempty"`
+	Words2 bits.WordMask `json:"words2,omitempty"`
+	Data   []mem.Version `json:"data,omitempty"`
+	Flag   bool          `json:"flag,omitempty"`
+}
+
+// EventState is one pending kernel event. Handler identity is (Handler,
+// Node): "sys" is the System mesh handler, "proc"/"dir"/"port" name a node's
+// component. Events whose a1 is a message-pool index carry the message inline
+// in Msg; their A1 is rewritten at restore.
+type EventState struct {
+	Kernel  int       `json:"kernel"`
+	At      sim.Time  `json:"at"`
+	Seq     uint64    `json:"seq"`
+	Handler string    `json:"handler"`
+	Node    int       `json:"node"`
+	Code    uint32    `json:"code"`
+	A1      uint64    `json:"a1,omitempty"`
+	A2      uint64    `json:"a2,omitempty"`
+	Msg     *MsgState `json:"msg,omitempty"`
+}
+
+// WriteLineState is one snapshot write-set line.
+type WriteLineState struct {
+	Base  mem.Addr      `json:"base"`
+	Words bits.WordMask `json:"words"`
+}
+
+// WriteDirState is the write-set slice homed at one directory.
+type WriteDirState struct {
+	Dir   int              `json:"dir"`
+	Lines []WriteLineState `json:"lines"`
+}
+
+// FillState is one line's in-flight fill-tracking record.
+type FillState struct {
+	Base   mem.Addr `json:"base"`
+	Out    int      `json:"out,omitempty"`
+	Kills  int      `json:"kills,omitempty"`
+	Refill bool     `json:"refill,omitempty"`
+}
+
+// ProcState is one processor's full checkpoint state.
+type ProcState struct {
+	ProgPhase int `json:"prog_phase"`
+	TxIdx     int `json:"tx_idx"`
+	OpIdx     int `json:"op_idx"`
+
+	Phase      int      `json:"phase"`
+	Epoch      uint64   `json:"epoch"`
+	TxStart    sim.Time `json:"tx_start"`
+	MissStart  sim.Time `json:"miss_start"`
+	MissLine   mem.Addr `json:"miss_line"`
+	PendUseful uint64   `json:"pend_useful"`
+	PendMiss   uint64   `json:"pend_miss"`
+	Attempt    int      `json:"attempt"`
+
+	ReadSet    []mem.ReadSample `json:"read_set,omitempty"`
+	SharingVec []uint64         `json:"sharing_vec,omitempty"`
+	WritingVec []uint64         `json:"writing_vec,omitempty"`
+
+	TID          tid.TID  `json:"tid"`
+	LastTID      tid.TID  `json:"last_tid"`
+	WaitingTID   bool     `json:"waiting_tid,omitempty"`
+	TidDisposals int      `json:"tid_disposals,omitempty"`
+	KeepTID      bool     `json:"keep_tid,omitempty"`
+	CommitStart  sim.Time `json:"commit_start"`
+
+	WriteSet []WriteDirState `json:"write_set,omitempty"`
+
+	// ValTok plus the directories still owing a write/read probe answer
+	// (pendTokW[d] == valTok compressed to a dir list; stale tokens are
+	// inert, so they need not survive).
+	ValTok uint64 `json:"val_tok"`
+	PendW  []int  `json:"pend_w,omitempty"`
+	PendR  []int  `json:"pend_r,omitempty"`
+
+	Fills       []FillState `json:"fills,omitempty"`
+	RefillCount int         `json:"refill_count,omitempty"`
+
+	IdleStart sim.Time  `json:"idle_start"`
+	Stats     ProcStats `json:"stats"`
+
+	Cache *cache.CacheState    `json:"cache"`
+	L1    *cache.TagArrayState `json:"l1"`
+}
+
+// DirEntryState is one directory entry, in dense-id (first-touch) order.
+type DirEntryState struct {
+	Base        mem.Addr      `json:"base"`
+	Sharers     []uint64      `json:"sharers,omitempty"`
+	Owner       int           `json:"owner"`
+	OwnerTID    tid.TID       `json:"owner_tid,omitempty"`
+	OwnedWords  bits.WordMask `json:"owned_words,omitempty"`
+	Marked      bool          `json:"marked,omitempty"`
+	MarkWords   bits.WordMask `json:"mark_words,omitempty"`
+	MarkData    []mem.Version `json:"mark_data,omitempty"`
+	PendingFrom []int         `json:"pending_from,omitempty"`
+}
+
+// ProbeState is one deferred NSTID probe.
+type ProbeState struct {
+	T     tid.TID `json:"t"`
+	Write bool    `json:"write,omitempty"`
+	From  int     `json:"from"`
+}
+
+// PendingLoadState is one stalled load.
+type PendingLoadState struct {
+	Addr   mem.Addr `json:"addr"`
+	From   int      `json:"from"`
+	ReqTID tid.TID  `json:"req_tid,omitempty"`
+}
+
+// StallState is the stalled-load queue for one line base, in arrival order.
+type StallState struct {
+	Base  mem.Addr           `json:"base"`
+	Loads []PendingLoadState `json:"loads"`
+}
+
+// DirCacheStamp is one bounded-directory-cache residency record.
+type DirCacheStamp struct {
+	Addr  mem.Addr `json:"addr"`
+	Stamp uint64   `json:"stamp"`
+}
+
+// DirState is one directory controller's full checkpoint state, including
+// its local memory bank.
+type DirState struct {
+	NSTID tid.TID  `json:"nstid"`
+	Done  []uint64 `json:"done,omitempty"`
+
+	Entries []DirEntryState `json:"entries,omitempty"`
+	Memory  []mem.LineImage `json:"memory,omitempty"`
+
+	MarkedLines      []mem.Addr `json:"marked_lines,omitempty"`
+	MarkOwner        int        `json:"mark_owner"`
+	CommitBusy       bool       `json:"commit_busy,omitempty"`
+	CommitAcks       int        `json:"commit_acks,omitempty"`
+	CommitFlushes    int        `json:"commit_flushes,omitempty"`
+	PendingCommitTID tid.TID    `json:"pending_commit_tid,omitempty"`
+
+	Probes   []ProbeState `json:"probes,omitempty"`
+	ProbeMin tid.TID      `json:"probe_min,omitempty"`
+	Stalls   []StallState `json:"stalls,omitempty"`
+	NextFree sim.Time     `json:"next_free"`
+
+	DirCache      []DirCacheStamp `json:"dir_cache,omitempty"`
+	DirCacheClock uint64          `json:"dir_cache_clock,omitempty"`
+	RemoteEntries int             `json:"remote_entries,omitempty"`
+
+	Stats   DirStats `json:"stats"`
+	OccHist []uint64 `json:"occ_hist,omitempty"`
+	WsHist  []uint64 `json:"ws_hist,omitempty"`
+	CurBusy uint64   `json:"cur_busy,omitempty"`
+}
+
+// PortState is one node's sharded-engine port accounting (the statistics the
+// run-end merge folds into the System aggregates). The port's outbox, event
+// buffer, and barrier/retire captures are empty at the checkpoint cut and so
+// need no representation.
+type PortState struct {
+	MsgCounts      []uint64       `json:"msg_counts"`
+	Commits        uint64         `json:"commits"`
+	Violations     uint64         `json:"violations"`
+	Instr          uint64         `json:"instr"`
+	TxInstrH       []uint64       `json:"tx_instr_h,omitempty"`
+	RdSetH         []uint64       `json:"rd_set_h,omitempty"`
+	WrSetH         []uint64       `json:"wr_set_h,omitempty"`
+	DirsTouchedH   []uint64       `json:"dirs_touched_h,omitempty"`
+	CommitLog      []CommitRecord `json:"commit_log,omitempty"`
+	LocalBytes     []uint64       `json:"local_bytes"`
+	LocalMsgs      []uint64       `json:"local_msgs"`
+	LocalNodeBytes uint64         `json:"local_node_bytes"`
+	Done           int            `json:"done"`
+}
+
+// Checkpoint is the full machine state at a quiescent cut.
+type Checkpoint struct {
+	Schema  string `json:"schema"`
+	Version int    `json:"version"`
+
+	NumProcs   int  `json:"procs"`
+	Sharded    bool `json:"sharded,omitempty"`
+	CollectLog bool `json:"collect_log,omitempty"`
+
+	Kernels []KernelClock `json:"kernels"`
+	Events  []EventState  `json:"events"`
+
+	AddrMap []mem.PageHome `json:"addr_map"`
+	Net     *mesh.Snapshot `json:"net"`
+
+	VendorNext tid.TID           `json:"vendor_next"`
+	VendorOut  []tid.Outstanding `json:"vendor_out,omitempty"`
+
+	BarrierArrived int `json:"barrier_arrived,omitempty"`
+	Running        int `json:"running"`
+
+	Procs []ProcState `json:"proc_state"`
+	Dirs  []DirState  `json:"dir_state"`
+	Ports []PortState `json:"port_state,omitempty"`
+
+	// Sequential-engine aggregates (the sharded engine keeps these per
+	// port until the run-end merge).
+	MsgCounts    []uint64       `json:"msg_counts,omitempty"`
+	Commits      uint64         `json:"commits,omitempty"`
+	Violations   uint64         `json:"violations,omitempty"`
+	Instr        uint64         `json:"instr,omitempty"`
+	TxInstrH     []uint64       `json:"tx_instr_h,omitempty"`
+	RdSetH       []uint64       `json:"rd_set_h,omitempty"`
+	WrSetH       []uint64       `json:"wr_set_h,omitempty"`
+	DirsTouchedH []uint64       `json:"dirs_touched_h,omitempty"`
+	CommitLog    []CommitRecord `json:"commit_log,omitempty"`
+}
+
+// checkpointable reports whether this System's feature set can be snapshot.
+func (s *System) checkpointable() error {
+	switch {
+	case s.aud != nil:
+		return fmt.Errorf("core: checkpoints require the invariant auditor off (it mirrors pool state the snapshot does not carry)")
+	case s.tape != nil:
+		return fmt.Errorf("core: checkpoints require TAPE profiling off")
+	case s.sampleEvery > 0:
+		return fmt.Errorf("core: checkpoints require the occupancy sampler off (it schedules closure events)")
+	}
+	return nil
+}
+
+// eventCarriesMsg reports whether (handler, code) events carry a
+// message-pool index in a1.
+func eventCarriesMsg(handler string, code uint32) bool {
+	switch handler {
+	case "sys":
+		return code == sysMsg
+	case "dir":
+		return code == dirExec || code == dirMemReady
+	case "port":
+		return code == portMsg
+	}
+	return false
+}
+
+func msgState(m *protoMsg) *MsgState {
+	ms := &MsgState{
+		Kind: m.kind, Src: m.src, Dst: m.dst,
+		Addr: m.addr, T: m.t, T2: m.t2,
+		Words: m.words, Words2: m.words2, Flag: m.flag,
+	}
+	if m.data != nil {
+		ms.Data = append([]mem.Version(nil), m.data...)
+	}
+	return ms
+}
+
+// installMsg allocates a pool slot on the owning node and fills it from ms,
+// returning the new index for the restored event's a1.
+func (s *System) installMsg(owner int, ms *MsgState) (int32, error) {
+	if ms.Kind < 0 || int(ms.Kind) >= NumMsgKinds {
+		return 0, fmt.Errorf("core: restore message has unknown kind %d", ms.Kind)
+	}
+	if ms.Data != nil && len(ms.Data) != s.cfg.Geometry.WordsPerLine() {
+		return 0, fmt.Errorf("core: restore message payload has %d words, want %d",
+			len(ms.Data), s.cfg.Geometry.WordsPerLine())
+	}
+	var (
+		i int32
+		m *protoMsg
+	)
+	if s.ports != nil {
+		i, m = s.ports[owner].allocMsg()
+	} else {
+		s.msgs = append(s.msgs, protoMsg{})
+		i = int32(len(s.msgs) - 1)
+		m = &s.msgs[i]
+	}
+	m.kind, m.src, m.dst = ms.Kind, ms.Src, ms.Dst
+	m.addr, m.t, m.t2 = ms.Addr, ms.T, ms.T2
+	m.words, m.words2, m.flag = ms.Words, ms.Words2, ms.Flag
+	if ms.Data != nil {
+		b := s.acquireBuf(owner)
+		copy(b, ms.Data)
+		m.data = b
+	}
+	return i, nil
+}
+
+// captureKernel records one kernel's clock and pending events into ck.
+func (s *System) captureKernel(ki int, k *sim.Kernel, ck *Checkpoint) error {
+	now, seq, nRun := k.Clock()
+	ck.Kernels = append(ck.Kernels, KernelClock{Now: now, Seq: seq, NRun: nRun})
+	evs, err := k.PendingEvents()
+	if err != nil {
+		return fmt.Errorf("core: kernel %d: %w", ki, err)
+	}
+	for _, ev := range evs {
+		es := EventState{Kernel: ki, At: ev.At, Seq: ev.Seq, Code: ev.Code, A1: ev.A1, A2: ev.A2, Node: -1}
+		switch h := ev.H.(type) {
+		case *System:
+			es.Handler = "sys"
+		case *Processor:
+			es.Handler, es.Node = "proc", h.id
+		case *Directory:
+			es.Handler, es.Node = "dir", h.node
+		case *nodePort:
+			es.Handler, es.Node = "port", h.node
+		default:
+			return fmt.Errorf("core: kernel %d holds an event for an unknown handler type %T", ki, ev.H)
+		}
+		if eventCarriesMsg(es.Handler, es.Code) {
+			es.Msg = msgState(s.msgAt(int32(ev.A1)))
+			es.A1 = 0 // re-assigned to the restored pool slot
+		}
+		ck.Events = append(ck.Events, es)
+	}
+	return nil
+}
+
+// Snapshot captures the System's full state at a quiescent cut. Sequentially
+// the caller must be between StepCycle batches (Run's loop boundary); under
+// the sharded executor, inside a ShardExec.Check callback. RunCheckpointed
+// arranges both.
+func (s *System) Snapshot() (*Checkpoint, error) {
+	if err := s.checkpointable(); err != nil {
+		return nil, err
+	}
+	ck := &Checkpoint{
+		Schema:     KernelCheckpointSchema,
+		Version:    KernelCheckpointVersion,
+		NumProcs:   s.cfg.Procs,
+		Sharded:    s.ports != nil,
+		CollectLog: s.collectLog,
+
+		AddrMap: s.addrMap.Snapshot(),
+		Net:     s.net.Snapshot(),
+
+		BarrierArrived: s.barrier.arrived,
+	}
+	ck.VendorNext, ck.VendorOut = s.vendor.Snapshot()
+
+	if s.ports != nil {
+		running := s.cfg.Procs
+		for _, np := range s.ports {
+			if len(np.out) != 0 || len(np.events) != 0 || np.barriers != 0 || len(np.retires) != 0 {
+				return nil, fmt.Errorf("core: node %d port not drained — checkpoint cut is not at an epoch boundary", np.node)
+			}
+			if err := s.captureKernel(np.node, np.k, ck); err != nil {
+				return nil, err
+			}
+			ck.Ports = append(ck.Ports, PortState{
+				MsgCounts:      append([]uint64(nil), np.msgCounts[:]...),
+				Commits:        np.commits,
+				Violations:     np.violations,
+				Instr:          np.instr,
+				TxInstrH:       append([]uint64(nil), np.txInstrH.Values()...),
+				RdSetH:         append([]uint64(nil), np.rdSetH.Values()...),
+				WrSetH:         append([]uint64(nil), np.wrSetH.Values()...),
+				DirsTouchedH:   append([]uint64(nil), np.dirsTouchedH.Values()...),
+				CommitLog:      append([]CommitRecord(nil), np.commitLog...),
+				LocalBytes:     append([]uint64(nil), np.localBytes[:]...),
+				LocalMsgs:      append([]uint64(nil), np.localMsgs[:]...),
+				LocalNodeBytes: np.localNodeBytes,
+				Done:           np.done,
+			})
+			running -= np.done
+		}
+		ck.Running = running
+	} else {
+		if err := s.captureKernel(0, s.kernel, ck); err != nil {
+			return nil, err
+		}
+		ck.Running = s.running
+		ck.MsgCounts = append([]uint64(nil), s.msgCounts[:]...)
+		ck.Commits = s.totalCommits
+		ck.Violations = s.totalViolations
+		ck.Instr = s.committedInstr
+		ck.TxInstrH = append([]uint64(nil), s.txInstrH.Values()...)
+		ck.RdSetH = append([]uint64(nil), s.rdSetH.Values()...)
+		ck.WrSetH = append([]uint64(nil), s.wrSetH.Values()...)
+		ck.DirsTouchedH = append([]uint64(nil), s.dirsTouchedH.Values()...)
+		ck.CommitLog = append([]CommitRecord(nil), s.commitLog...)
+	}
+
+	for _, p := range s.procs {
+		ck.Procs = append(ck.Procs, p.snapshotState())
+	}
+	for _, d := range s.dirs {
+		ck.Dirs = append(ck.Dirs, d.snapshotState())
+	}
+	return ck, nil
+}
+
+func (p *Processor) snapshotState() ProcState {
+	ps := ProcState{
+		ProgPhase: p.progPhase,
+		TxIdx:     p.txIdx,
+		OpIdx:     p.opIdx,
+
+		Phase:      int(p.phase),
+		Epoch:      p.epoch,
+		TxStart:    p.txStart,
+		MissStart:  p.missStart,
+		MissLine:   p.missLine,
+		PendUseful: p.pendUseful,
+		PendMiss:   p.pendMiss,
+		Attempt:    p.attempt,
+
+		ReadSet:    append([]mem.ReadSample(nil), p.readSet.Samples()...),
+		SharingVec: p.sharingVec.Words(),
+		WritingVec: p.writingVec.Words(),
+
+		TID:          p.tid,
+		LastTID:      p.lastTID,
+		WaitingTID:   p.waitingTID,
+		TidDisposals: p.tidDisposals,
+		KeepTID:      p.keepTID,
+		CommitStart:  p.commitStart,
+
+		ValTok: p.valTok,
+
+		Fills:       make([]FillState, 0, len(p.fills)),
+		RefillCount: p.refillCount,
+
+		IdleStart: p.idleStart,
+		Stats:     p.stats,
+
+		Cache: p.cache.Snapshot(),
+		L1:    p.l1.Snapshot(),
+	}
+	for _, d := range p.writeDirs {
+		wd := WriteDirState{Dir: d}
+		for _, wl := range p.writeLines[d] {
+			wd.Lines = append(wd.Lines, WriteLineState{Base: wl.base, Words: wl.words})
+		}
+		ps.WriteSet = append(ps.WriteSet, wd)
+	}
+	for d := 0; d < len(p.pendTokW); d++ {
+		if p.pendTokW[d] == p.valTok && p.valTok != 0 {
+			ps.PendW = append(ps.PendW, d)
+		}
+		if p.pendTokR[d] == p.valTok && p.valTok != 0 {
+			ps.PendR = append(ps.PendR, d)
+		}
+	}
+	for _, f := range p.fills {
+		ps.Fills = append(ps.Fills, FillState{Base: f.base, Out: f.out, Kills: f.kills, Refill: f.refill})
+	}
+	return ps
+}
+
+func (p *Processor) restoreState(ps *ProcState) error {
+	if ps.Phase < int(phRunning) || ps.Phase > int(phDone) {
+		return fmt.Errorf("core: proc %d restore has unknown phase %d", p.id, ps.Phase)
+	}
+	p.progPhase = ps.ProgPhase
+	p.txIdx = ps.TxIdx
+	p.ops = nil
+	p.opIdx = ps.OpIdx
+	p.phase = procPhase(ps.Phase)
+	switch p.phase {
+	case phRunning, phWaitLoad, phValidating:
+		// The op stream is regenerated from the program rather than stored:
+		// workloads are deterministic functions of (proc, phase, tx index).
+		if p.progPhase < 0 || p.progPhase >= p.prog.Phases() {
+			return fmt.Errorf("core: proc %d restore phase index %d outside program", p.id, p.progPhase)
+		}
+		if p.txIdx < 0 || p.txIdx >= p.prog.TxCount(p.id, p.progPhase) {
+			return fmt.Errorf("core: proc %d restore tx index %d outside phase %d", p.id, p.txIdx, p.progPhase)
+		}
+		p.ops = p.prog.Tx(p.id, p.progPhase, p.txIdx).Ops
+		if p.opIdx < 0 || p.opIdx > len(p.ops) {
+			return fmt.Errorf("core: proc %d restore op index %d outside transaction (%d ops)", p.id, p.opIdx, len(p.ops))
+		}
+	}
+	p.epoch = ps.Epoch
+	p.txStart = ps.TxStart
+	p.missStart = ps.MissStart
+	p.missLine = ps.MissLine
+	p.pendUseful = ps.PendUseful
+	p.pendMiss = ps.PendMiss
+	p.attempt = ps.Attempt
+
+	p.readSet.Restore(ps.ReadSet)
+	p.sharingVec.LoadWords(ps.SharingVec)
+	p.writingVec.LoadWords(ps.WritingVec)
+
+	p.tid = ps.TID
+	p.lastTID = ps.LastTID
+	p.waitingTID = ps.WaitingTID
+	p.tidDisposals = ps.TidDisposals
+	p.keepTID = ps.KeepTID
+	p.commitStart = ps.CommitStart
+
+	prev := -1
+	for _, wd := range ps.WriteSet {
+		if wd.Dir < 0 || wd.Dir >= len(p.writeLines) || wd.Dir <= prev {
+			return fmt.Errorf("core: proc %d restore write-set dir %d out of order or range", p.id, wd.Dir)
+		}
+		prev = wd.Dir
+		p.writeDirs = append(p.writeDirs, wd.Dir)
+		for _, wl := range wd.Lines {
+			p.writeLines[wd.Dir] = append(p.writeLines[wd.Dir], writeLine{base: wl.Base, words: wl.Words})
+		}
+	}
+
+	p.valTok = ps.ValTok
+	for _, d := range ps.PendW {
+		if d < 0 || d >= len(p.pendTokW) {
+			return fmt.Errorf("core: proc %d restore pending write probe for dir %d", p.id, d)
+		}
+		p.pendTokW[d] = p.valTok
+	}
+	for _, d := range ps.PendR {
+		if d < 0 || d >= len(p.pendTokR) {
+			return fmt.Errorf("core: proc %d restore pending read probe for dir %d", p.id, d)
+		}
+		p.pendTokR[d] = p.valTok
+	}
+	p.pendWriteN = len(ps.PendW)
+	p.pendReadN = len(ps.PendR)
+
+	for _, f := range ps.Fills {
+		p.fills = append(p.fills, fillTrack{base: f.Base, out: f.Out, kills: f.Kills, refill: f.Refill})
+	}
+	p.refillCount = ps.RefillCount
+
+	p.idleStart = ps.IdleStart
+	p.stats = ps.Stats
+
+	if ps.Cache == nil || ps.L1 == nil {
+		return fmt.Errorf("core: proc %d restore is missing cache state", p.id)
+	}
+	if err := p.cache.Restore(ps.Cache); err != nil {
+		return fmt.Errorf("core: proc %d: %w", p.id, err)
+	}
+	if err := p.l1.Restore(ps.L1); err != nil {
+		return fmt.Errorf("core: proc %d: %w", p.id, err)
+	}
+	return nil
+}
+
+func (d *Directory) snapshotState() DirState {
+	ds := DirState{
+		NSTID: d.nstid,
+		Done:  d.done.Words(),
+
+		Memory: d.memory.Snapshot(),
+
+		MarkedLines:      append([]mem.Addr(nil), d.markedLines...),
+		MarkOwner:        d.markOwner,
+		CommitBusy:       d.commitBusy,
+		CommitAcks:       d.commitAcks,
+		CommitFlushes:    d.commitFlushes,
+		PendingCommitTID: d.pendingCommitTID,
+
+		ProbeMin: d.probeMin,
+		NextFree: d.nextFree,
+
+		DirCacheClock: d.dirCacheClock,
+		RemoteEntries: d.remoteEntries,
+
+		Stats:   d.stats,
+		OccHist: append([]uint64(nil), d.occHist.Values()...),
+		WsHist:  append([]uint64(nil), d.wsHist.Values()...),
+		CurBusy: d.curBusy,
+	}
+	for id, base := range d.entBases {
+		e := d.entryAt(int32(id))
+		es := DirEntryState{
+			Base:       base,
+			Sharers:    e.sharers.Words(),
+			Owner:      e.owner,
+			OwnerTID:   e.ownerTID,
+			OwnedWords: e.ownedWords,
+			Marked:     e.marked,
+			MarkWords:  e.markWords,
+		}
+		if e.markData != nil {
+			es.MarkData = append([]mem.Version(nil), e.markData...)
+		}
+		if len(e.pendingFrom) > 0 {
+			es.PendingFrom = append([]int(nil), e.pendingFrom...)
+		}
+		ds.Entries = append(ds.Entries, es)
+	}
+	for _, pr := range d.probes {
+		ds.Probes = append(ds.Probes, ProbeState{T: pr.t, Write: pr.write, From: pr.from})
+	}
+	for _, sq := range d.stalls {
+		ss := StallState{Base: sq.base}
+		for _, pl := range sq.loads {
+			ss.Loads = append(ss.Loads, PendingLoadState{Addr: pl.addr, From: pl.from, ReqTID: pl.reqTID})
+		}
+		ds.Stalls = append(ds.Stalls, ss)
+	}
+	if len(d.dirCacheLRU) > 0 {
+		for a, t := range d.dirCacheLRU {
+			ds.DirCache = append(ds.DirCache, DirCacheStamp{Addr: a, Stamp: t})
+		}
+		// Stamps are unique (the clock increments per touch), so stamp order
+		// is a canonical serialization order.
+		sort.Slice(ds.DirCache, func(i, j int) bool { return ds.DirCache[i].Stamp < ds.DirCache[j].Stamp })
+	}
+	return ds
+}
+
+func (d *Directory) restoreState(ds *DirState) error {
+	if len(d.entBases) != 0 {
+		return fmt.Errorf("core: dir %d restore target is not fresh", d.node)
+	}
+	wpl := d.sys.cfg.Geometry.WordsPerLine()
+	d.nstid = ds.NSTID
+	d.done.LoadWords(ds.Done)
+
+	for i := range ds.Entries {
+		es := &ds.Entries[i]
+		id := int32(i)
+		if id&(dirChunk-1) == 0 {
+			d.entChunks = append(d.entChunks, make([]dirEntry, dirChunk))
+		}
+		e := d.entryAt(id)
+		e.sharers.LoadWords(es.Sharers)
+		e.owner = es.Owner
+		e.ownerTID = es.OwnerTID
+		e.ownedWords = es.OwnedWords
+		e.marked = es.Marked
+		e.markWords = es.MarkWords
+		if es.MarkData != nil {
+			if len(es.MarkData) != wpl {
+				return fmt.Errorf("core: dir %d restore mark data for %#x has %d words, want %d",
+					d.node, es.Base, len(es.MarkData), wpl)
+			}
+			buf := d.sys.acquireBuf(d.node)
+			copy(buf, es.MarkData)
+			e.markData = buf
+		}
+		if len(es.PendingFrom) > 0 {
+			e.pendingFrom = append([]int(nil), es.PendingFrom...)
+			e.pendingData = len(e.pendingFrom)
+		}
+		if _, dup := d.entIdx.Get(es.Base); dup {
+			return fmt.Errorf("core: dir %d restore entry %#x duplicated", d.node, es.Base)
+		}
+		d.entIdx.Set(es.Base, id)
+		d.entBases = append(d.entBases, es.Base)
+	}
+
+	if err := d.memory.Restore(ds.Memory); err != nil {
+		return fmt.Errorf("core: dir %d: %w", d.node, err)
+	}
+
+	d.markedLines = append(d.markedLines, ds.MarkedLines...)
+	d.markOwner = ds.MarkOwner
+	d.commitBusy = ds.CommitBusy
+	d.commitAcks = ds.CommitAcks
+	d.commitFlushes = ds.CommitFlushes
+	d.pendingCommitTID = ds.PendingCommitTID
+
+	for _, pr := range ds.Probes {
+		d.probes = append(d.probes, pendingProbe{t: pr.T, write: pr.Write, from: pr.From})
+	}
+	d.probeMin = ds.ProbeMin
+	for _, ss := range ds.Stalls {
+		q := stallQueue{base: ss.Base}
+		for _, pl := range ss.Loads {
+			q.loads = append(q.loads, pendingLoad{addr: pl.Addr, from: pl.From, reqTID: pl.ReqTID})
+		}
+		d.stalls = append(d.stalls, q)
+	}
+	d.nextFree = ds.NextFree
+
+	if len(ds.DirCache) > 0 {
+		d.dirCacheLRU = make(map[mem.Addr]uint64, d.sys.cfg.DirCacheEntries+1)
+		for _, c := range ds.DirCache {
+			d.dirCacheLRU[c.Addr] = c.Stamp
+		}
+	}
+	d.dirCacheClock = ds.DirCacheClock
+	d.remoteEntries = ds.RemoteEntries
+
+	d.stats = ds.Stats
+	d.occHist.Restore(ds.OccHist)
+	d.wsHist.Restore(ds.WsHist)
+	d.curBusy = ds.CurBusy
+	return nil
+}
+
+// handlerFor resolves a restored event's handler identity and the node whose
+// message pool owns its payload (if any).
+func (s *System) handlerFor(es *EventState) (sim.Handler, int, error) {
+	switch es.Handler {
+	case "sys":
+		return s, 0, nil
+	case "proc":
+		if es.Node < 0 || es.Node >= len(s.procs) {
+			return nil, 0, fmt.Errorf("core: restore event for proc %d of %d", es.Node, len(s.procs))
+		}
+		return s.procs[es.Node], es.Node, nil
+	case "dir":
+		if es.Node < 0 || es.Node >= len(s.dirs) {
+			return nil, 0, fmt.Errorf("core: restore event for dir %d of %d", es.Node, len(s.dirs))
+		}
+		return s.dirs[es.Node], es.Node, nil
+	case "port":
+		if s.ports == nil {
+			return nil, 0, fmt.Errorf("core: restore event for a port on the sequential engine")
+		}
+		if es.Node < 0 || es.Node >= len(s.ports) {
+			return nil, 0, fmt.Errorf("core: restore event for port %d of %d", es.Node, len(s.ports))
+		}
+		return s.ports[es.Node], es.Node, nil
+	}
+	return nil, 0, fmt.Errorf("core: restore event has unknown handler kind %q", es.Handler)
+}
+
+// Restore installs a checkpoint into a freshly built System. The System must
+// have been constructed by NewSystem with the same processor count, geometry,
+// engine mode (sequential vs sharded), and program as the snapshot's; timing
+// knobs (latencies, bandwidths, watchdog) may differ — the snapshot stores
+// absolute times, which remain valid, and new knob values apply to everything
+// scheduled after the cut.
+func (s *System) Restore(ck *Checkpoint) error {
+	if ck.Schema != KernelCheckpointSchema {
+		return fmt.Errorf("core: checkpoint schema %q, want %q", ck.Schema, KernelCheckpointSchema)
+	}
+	if ck.Version != KernelCheckpointVersion {
+		return fmt.Errorf("core: checkpoint version %d, this build reads %d", ck.Version, KernelCheckpointVersion)
+	}
+	if ck.NumProcs != s.cfg.Procs {
+		return fmt.Errorf("core: checkpoint of a %d-proc machine, config has %d", ck.NumProcs, s.cfg.Procs)
+	}
+	if ck.Sharded != (s.ports != nil) {
+		return fmt.Errorf("core: checkpoint engine mode (sharded=%v) does not match config", ck.Sharded)
+	}
+	if err := s.checkpointable(); err != nil {
+		return err
+	}
+	if s.restored {
+		return fmt.Errorf("core: System already restored once")
+	}
+	if _, seq, nRun := s.kernel.Clock(); seq != 0 || nRun != 0 {
+		return fmt.Errorf("core: restore target has already executed events")
+	}
+	nk := 1
+	if s.ports != nil {
+		nk = s.cfg.Procs
+	}
+	if len(ck.Kernels) != nk {
+		return fmt.Errorf("core: checkpoint has %d kernel clocks, machine has %d", len(ck.Kernels), nk)
+	}
+	if len(ck.Procs) != s.cfg.Procs || len(ck.Dirs) != s.cfg.Procs {
+		return fmt.Errorf("core: checkpoint has %d/%d proc/dir states, machine has %d",
+			len(ck.Procs), len(ck.Dirs), s.cfg.Procs)
+	}
+	if s.ports != nil && len(ck.Ports) != s.cfg.Procs {
+		return fmt.Errorf("core: checkpoint has %d port states, machine has %d", len(ck.Ports), s.cfg.Procs)
+	}
+
+	if err := s.addrMap.Restore(ck.AddrMap); err != nil {
+		return err
+	}
+	if err := s.net.Restore(ck.Net); err != nil {
+		return err
+	}
+	if err := s.vendor.Restore(ck.VendorNext, ck.VendorOut); err != nil {
+		return err
+	}
+	s.barrier.arrived = ck.BarrierArrived
+	s.running = ck.Running
+	s.collectLog = ck.CollectLog
+
+	for i, p := range s.procs {
+		if err := p.restoreState(&ck.Procs[i]); err != nil {
+			return err
+		}
+	}
+	for i, d := range s.dirs {
+		if err := d.restoreState(&ck.Dirs[i]); err != nil {
+			return err
+		}
+	}
+
+	if s.ports != nil {
+		for i, np := range s.ports {
+			st := &ck.Ports[i]
+			if len(st.MsgCounts) != NumMsgKinds {
+				return fmt.Errorf("core: port %d restore has %d message counters, want %d", i, len(st.MsgCounts), NumMsgKinds)
+			}
+			if len(st.LocalBytes) != mesh.NumClasses || len(st.LocalMsgs) != mesh.NumClasses {
+				return fmt.Errorf("core: port %d restore has malformed local traffic counters", i)
+			}
+			copy(np.msgCounts[:], st.MsgCounts)
+			np.commits = st.Commits
+			np.violations = st.Violations
+			np.instr = st.Instr
+			np.txInstrH.Restore(st.TxInstrH)
+			np.rdSetH.Restore(st.RdSetH)
+			np.wrSetH.Restore(st.WrSetH)
+			np.dirsTouchedH.Restore(st.DirsTouchedH)
+			np.commitLog = append(np.commitLog, st.CommitLog...)
+			copy(np.localBytes[:], st.LocalBytes)
+			copy(np.localMsgs[:], st.LocalMsgs)
+			np.localNodeBytes = st.LocalNodeBytes
+			np.done = st.Done
+		}
+	} else {
+		if len(ck.MsgCounts) != NumMsgKinds {
+			return fmt.Errorf("core: checkpoint has %d message counters, want %d", len(ck.MsgCounts), NumMsgKinds)
+		}
+		copy(s.msgCounts[:], ck.MsgCounts)
+		s.totalCommits = ck.Commits
+		s.totalViolations = ck.Violations
+		s.committedInstr = ck.Instr
+		s.txInstrH.Restore(ck.TxInstrH)
+		s.rdSetH.Restore(ck.RdSetH)
+		s.wrSetH.Restore(ck.WrSetH)
+		s.dirsTouchedH.Restore(ck.DirsTouchedH)
+		s.commitLog = append(s.commitLog, ck.CommitLog...)
+	}
+
+	// Rebuild the kernels: re-allocate each event's message (in event order,
+	// so pool growth is deterministic), rebind handlers, and install the
+	// per-kernel clock + pending set.
+	perK := make([][]sim.PendingEvent, nk)
+	for i := range ck.Events {
+		es := &ck.Events[i]
+		if es.Kernel < 0 || es.Kernel >= nk {
+			return fmt.Errorf("core: restore event %d targets kernel %d of %d", i, es.Kernel, nk)
+		}
+		h, owner, err := s.handlerFor(es)
+		if err != nil {
+			return err
+		}
+		pe := sim.PendingEvent{At: es.At, Seq: es.Seq, Code: es.Code, A1: es.A1, A2: es.A2, H: h}
+		if eventCarriesMsg(es.Handler, es.Code) {
+			if es.Msg == nil {
+				return fmt.Errorf("core: restore event %d (%s code %d) is missing its message payload", i, es.Handler, es.Code)
+			}
+			idx, err := s.installMsg(owner, es.Msg)
+			if err != nil {
+				return err
+			}
+			pe.A1 = uint64(idx)
+		} else if es.Msg != nil {
+			return fmt.Errorf("core: restore event %d (%s code %d) carries an unexpected message", i, es.Handler, es.Code)
+		}
+		perK[es.Kernel] = append(perK[es.Kernel], pe)
+	}
+	for ki := 0; ki < nk; ki++ {
+		k := s.kernel
+		if s.ports != nil {
+			k = s.ports[ki].k
+		}
+		kc := ck.Kernels[ki]
+		if err := k.Restore(kc.Now, kc.Seq, kc.NRun, perK[ki]); err != nil {
+			return fmt.Errorf("core: kernel %d: %w", ki, err)
+		}
+	}
+
+	s.restored = true
+	return nil
+}
+
+// RestoreSystem builds a System for (cfg, prog) and installs ck into it —
+// the one-call restore path.
+func RestoreSystem(cfg Config, prog workload.Program, ck *Checkpoint) (*System, error) {
+	s, err := NewSystem(cfg, prog)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Restore(ck); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// RunCheckpointed executes like Run, additionally invoking fn with a fresh
+// Checkpoint at the first quiescent cut at or after every multiple of
+// `every` cycles. fn returning an error aborts the run. A restored System
+// resumes checkpointing from its restored clock.
+func (s *System) RunCheckpointed(every sim.Time, fn func(*Checkpoint) error) (*Results, error) {
+	if every <= 0 || fn == nil {
+		return nil, fmt.Errorf("core: RunCheckpointed needs a positive interval and a sink")
+	}
+	if err := s.checkpointable(); err != nil {
+		return nil, err
+	}
+	s.ckEvery, s.ckFn = every, fn
+	now, _, _ := s.kernel.Clock()
+	if s.ports != nil {
+		for _, np := range s.ports {
+			if n, _, _ := np.k.Clock(); n > now {
+				now = n
+			}
+		}
+	}
+	s.ckNext = (now/every + 1) * every
+	defer func() { s.ckEvery, s.ckFn, s.ckNext = 0, nil, 0 }()
+	return s.Run()
+}
+
+// maybeCheckpoint takes a checkpoint if the clock has crossed the next
+// checkpoint boundary. Called at quiescent cuts only.
+func (s *System) maybeCheckpoint(now sim.Time) error {
+	if s.ckFn == nil || now < s.ckNext {
+		return nil
+	}
+	ck, err := s.Snapshot()
+	if err != nil {
+		return err
+	}
+	if err := s.ckFn(ck); err != nil {
+		return fmt.Errorf("core: checkpoint sink: %w", err)
+	}
+	for s.ckNext <= now {
+		s.ckNext += s.ckEvery
+	}
+	return nil
+}

@@ -51,6 +51,15 @@ type System struct {
 	prog    workload.Program
 	running int
 
+	// Checkpoint machinery (snapshot.go). restored marks a System rebuilt
+	// from a Checkpoint: Run then resumes the pending event set instead of
+	// posting the program starts. ckFn, when set by RunCheckpointed,
+	// receives a snapshot at each quiescent cut past ckNext.
+	restored bool
+	ckEvery  sim.Time
+	ckNext   sim.Time
+	ckFn     func(*Checkpoint) error
+
 	collectLog bool
 	commitLog  []CommitRecord
 
@@ -450,15 +459,18 @@ func (s *System) Run() (*Results, error) {
 	if s.ports != nil {
 		return s.runSharded()
 	}
-	s.running = s.cfg.Procs
-	for _, p := range s.procs {
-		s.kernel.Post(0, p, prStart, 0, 0)
-	}
-	if s.sampleEvery > 0 {
-		s.kernel.At(s.sampleEvery, s.sampleTick)
+	if !s.restored {
+		s.running = s.cfg.Procs
+		for _, p := range s.procs {
+			s.kernel.Post(0, p, prStart, 0, 0)
+		}
+		if s.sampleEvery > 0 {
+			s.kernel.At(s.sampleEvery, s.sampleTick)
+		}
 	}
 	// Batch dispatch: StepCycle drains each simulated cycle's events in one
-	// pass, so the watchdog check runs per cycle rather than per event.
+	// pass, so the watchdog check runs per cycle rather than per event. The
+	// loop boundary is a quiescent cut — where checkpoints are taken.
 	for s.kernel.Pending() > 0 {
 		if s.cfg.MaxCycles > 0 && s.kernel.Now() > s.cfg.MaxCycles {
 			return nil, fmt.Errorf("core: watchdog expired at cycle %d (%d procs still running)",
@@ -467,6 +479,9 @@ func (s *System) Run() (*Results, error) {
 		s.kernel.StepCycle()
 		if s.aud != nil && s.aud.err != nil {
 			return nil, s.aud.err
+		}
+		if err := s.maybeCheckpoint(s.kernel.Now()); err != nil {
+			return nil, err
 		}
 	}
 	if s.running != 0 {

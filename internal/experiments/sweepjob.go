@@ -237,7 +237,7 @@ func executeSweep(ctx context.Context, spec *runner.JobSpec, jc *runner.JobConte
 			return nil, err
 		}
 		if len(entries) > 0 {
-			return resumeSweep(ctx, sw, jc.CheckpointPath, progress, names, base, entries)
+			return resumeSweep(ctx, sw, jc.CheckpointPath, jc.ID, hash, progress, names, base, entries)
 		}
 	}
 
@@ -286,7 +286,7 @@ func executeSweep(ctx context.Context, spec *runner.JobSpec, jc *runner.JobConte
 // matrix indices the manifest is missing. Tables are not reconstructed —
 // checkpoints carry report cells, not table rows — so a resumed result has
 // Resumed set and no Tables.
-func resumeSweep(ctx context.Context, sw *runner.SweepSpec, ckptPath string,
+func resumeSweep(ctx context.Context, sw *runner.SweepSpec, ckptPath, jobID, specHash string,
 	progress func(string, int, int), names []string, base Options, entries [][]byte) (*runner.JobResult, error) {
 	done := make(map[string]map[int]ckptCell)
 	for _, line := range entries {
@@ -301,7 +301,7 @@ func resumeSweep(ctx context.Context, sw *runner.SweepSpec, ckptPath string,
 		}
 		m[c.Index] = c
 	}
-	cw, err := runner.AppendCheckpoint(ckptPath)
+	cw, err := runner.AppendCheckpoint(ckptPath, jobID, specHash)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,63 @@
+package mesh
+
+import (
+	"fmt"
+
+	"scalabletcc/internal/sim"
+)
+
+// Snapshot is the network's full checkpoint state: per-directed-link
+// reservation and occupancy clocks plus the traffic accounting. Link state
+// matters for determinism — a restored run must see the same contention the
+// original would have.
+type Snapshot struct {
+	// NextFree/Busy are indexed [direction][grid position], directions in
+	// east, west, north, south order.
+	NextFree [4][]sim.Time `json:"next_free"`
+	Busy     [4][]sim.Time `json:"busy"`
+
+	BytesByClass [NumClasses]uint64 `json:"bytes_by_class"`
+	MsgsByClass  [NumClasses]uint64 `json:"msgs_by_class"`
+	PerNodeBytes []uint64           `json:"per_node_bytes"`
+	HopsTotal    uint64             `json:"hops_total"`
+}
+
+// Snapshot captures the network's link clocks and traffic counters.
+func (n *Network) Snapshot() *Snapshot {
+	s := &Snapshot{
+		BytesByClass: n.bytesByClass,
+		MsgsByClass:  n.msgsByClass,
+		PerNodeBytes: append([]uint64(nil), n.perNodeBytes...),
+		HopsTotal:    n.hopsTotal,
+	}
+	for d := range n.links {
+		s.NextFree[d] = make([]sim.Time, len(n.links[d]))
+		s.Busy[d] = make([]sim.Time, len(n.links[d]))
+		for i := range n.links[d] {
+			s.NextFree[d][i] = n.links[d][i].nextFree
+			s.Busy[d][i] = n.links[d][i].busy
+		}
+	}
+	return s
+}
+
+// Restore installs a snapshot into a network built with the same geometry.
+func (n *Network) Restore(s *Snapshot) error {
+	if len(s.PerNodeBytes) != n.nodes {
+		return fmt.Errorf("mesh: restore has %d per-node counters, network has %d nodes", len(s.PerNodeBytes), n.nodes)
+	}
+	for d := range n.links {
+		if len(s.NextFree[d]) != len(n.links[d]) || len(s.Busy[d]) != len(n.links[d]) {
+			return fmt.Errorf("mesh: restore link array %d sized %d/%d, network has %d positions",
+				d, len(s.NextFree[d]), len(s.Busy[d]), len(n.links[d]))
+		}
+		for i := range n.links[d] {
+			n.links[d][i] = link{nextFree: s.NextFree[d][i], busy: s.Busy[d][i]}
+		}
+	}
+	n.bytesByClass = s.BytesByClass
+	n.msgsByClass = s.MsgsByClass
+	copy(n.perNodeBytes, s.PerNodeBytes)
+	n.hopsTotal = s.HopsTotal
+	return nil
+}

@@ -97,6 +97,14 @@ func NewJSONLStream(w io.Writer) *JSONLStream {
 	return &JSONLStream{w: w}
 }
 
+// ResumeJSONLStream returns a stream continuing an existing
+// scalabletcc/events byte stream: the schema header is taken to be already
+// emitted (it lives in the replayed prefix a resumed run writes first), so
+// the next line written is an event, not a second header.
+func ResumeJSONLStream(w io.Writer) *JSONLStream {
+	return &JSONLStream{w: w, header: true}
+}
+
 func (j *JSONLStream) line(v any) {
 	if j.err != nil {
 		return

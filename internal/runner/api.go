@@ -3,6 +3,7 @@ package runner
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -22,6 +23,9 @@ const MaxSpecBytes = 1 << 20
 //	GET  /v1/jobs/{id}/events  live event stream (SSE; data frames carry the
 //	                           job's scalabletcc/events v1 JSONL lines verbatim)
 //	POST /v1/jobs/{id}/cancel  cancel a queued or running job
+//	POST /v1/jobs/{id}/fork    new job from {id}'s latest kernel checkpoint
+//	                           under an edited spec (400 on edits that would
+//	                           invalidate the snapshot; requires ForkPrep)
 //	GET  /healthz              liveness + queue depth
 //
 // cmd/tccd wraps this mux with its own discovery endpoints (/v1/protocols,
@@ -93,6 +97,35 @@ func NewServer(q *Queue) *http.ServeMux {
 		}
 		st, _ := q.Status(id)
 		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("POST /v1/jobs/{id}/fork", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, MaxSpecBytes+1))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
+			return
+		}
+		if len(body) > MaxSpecBytes {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("job spec exceeds %d bytes", MaxSpecBytes))
+			return
+		}
+		spec, err := DecodeJobSpec(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		st, err := q.Fork(r.PathValue("id"), spec)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, err.Error())
+		case errors.Is(err, ErrUnknownJob):
+			httpError(w, http.StatusNotFound, err.Error())
+		case err != nil:
+			httpError(w, http.StatusBadRequest, err.Error())
+		default:
+			writeJSON(w, http.StatusAccepted, st)
+		}
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		serveEvents(q, w, r)

@@ -10,15 +10,16 @@ import (
 )
 
 // Checkpoint manifests make long jobs survive a daemon restart: a producer
-// (the sweep executor) appends one opaque JSONL entry per completed unit of
-// work, and on resume reads the entries back instead of recomputing them.
-// The file is line-oriented so a crash mid-write loses at most the final
-// partial line — every complete line is a durable unit.
+// (the sweep executor per completed cell, the run executor per kernel
+// snapshot) appends one opaque JSONL entry per completed unit of work, and
+// on resume reads the entries back instead of recomputing them. The file is
+// line-oriented so a crash mid-write loses at most the final partial line —
+// every complete line is a durable unit.
 //
 // The first line is a versioned header binding the manifest to one job spec
 // (by hash): a manifest recorded under a different spec is ignored rather
 // than replayed, so an edited job recomputes from scratch instead of mixing
-// stale cells in.
+// stale cells in. AppendCheckpoint enforces the same binding on reopen.
 const (
 	// CheckpointSchema identifies the manifest document type.
 	CheckpointSchema = "scalabletcc/job-checkpoint"
@@ -35,12 +36,51 @@ type checkpointHeader struct {
 	SpecHash string `json:"spec_hash"`
 }
 
+// scanCheckpoint walks the manifest bytes and returns the entry lines of the
+// valid prefix, the byte length of that prefix (header line included), and
+// whether the header matched (schema, version, spec hash). Scanning stops at
+// the first partial line (no terminating newline) or non-JSON line; entries
+// past that point are corruption, never trusted.
+func scanCheckpoint(data []byte, specHash string) (entries [][]byte, validLen int64, headerOK bool) {
+	rest := data
+	first := true
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			break // partial trailing line: crash mid-append
+		}
+		ln := rest[:nl]
+		if first {
+			var hdr checkpointHeader
+			if err := json.Unmarshal(ln, &hdr); err != nil {
+				return nil, 0, false
+			}
+			if hdr.Schema != CheckpointSchema || hdr.Version != CheckpointVersion || hdr.SpecHash != specHash {
+				return nil, 0, false
+			}
+			first = false
+		} else {
+			if len(ln) == 0 || !json.Valid(ln) {
+				break // corruption: keep the valid prefix only
+			}
+			entries = append(entries, append([]byte(nil), ln...))
+		}
+		validLen += int64(nl + 1)
+		rest = rest[nl+1:]
+	}
+	if first {
+		return nil, 0, false // empty file (or partial header line)
+	}
+	return entries, validLen, true
+}
+
 // LoadCheckpoint reads the manifest at path and returns its entry lines
 // (without the header). A missing file returns (nil, nil): nothing to
 // resume. A manifest whose header fails validation or whose spec hash
 // differs from specHash also returns (nil, nil) — stale state is skipped,
 // not trusted — while an unreadable file is a real error. A trailing
-// partial line (crash mid-append) is dropped.
+// partial line (crash mid-append) is dropped, and a corrupt line drops it
+// and everything after it: only the valid prefix is replayed.
 func LoadCheckpoint(path, specHash string) ([][]byte, error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
@@ -49,42 +89,17 @@ func LoadCheckpoint(path, specHash string) ([][]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("runner: read checkpoint: %w", err)
 	}
-	lines := bytes.Split(data, []byte("\n"))
-	if len(data) == 0 || data[len(data)-1] != '\n' {
-		// The final line lacks its newline: an interrupted append. Drop it.
-		lines = lines[:len(lines)-1]
-	}
-	// Drop the empty tail element a trailing newline produces.
-	for len(lines) > 0 && len(lines[len(lines)-1]) == 0 {
-		lines = lines[:len(lines)-1]
-	}
-	if len(lines) == 0 {
+	entries, _, ok := scanCheckpoint(data, specHash)
+	if !ok {
 		return nil, nil
-	}
-	var hdr checkpointHeader
-	if err := json.Unmarshal(lines[0], &hdr); err != nil {
-		return nil, nil
-	}
-	if hdr.Schema != CheckpointSchema || hdr.Version != CheckpointVersion || hdr.SpecHash != specHash {
-		return nil, nil
-	}
-	entries := make([][]byte, 0, len(lines)-1)
-	for _, ln := range lines[1:] {
-		if len(ln) == 0 {
-			continue
-		}
-		if !json.Valid(ln) {
-			break // corruption: keep the valid prefix only
-		}
-		entries = append(entries, append([]byte(nil), ln...))
 	}
 	return entries, nil
 }
 
 // CheckpointWriter appends entries to a manifest. Append is safe for
-// concurrent use (sweep cells complete on worker goroutines) and flushes
-// each entry's line before returning, so a completed cell is durable the
-// moment Append returns.
+// concurrent use (sweep cells complete on worker goroutines) and fsyncs
+// each entry's line before returning, so a completed unit of work survives
+// both a process kill and a host crash once Append returns.
 type CheckpointWriter struct {
 	mu  sync.Mutex
 	f   *os.File
@@ -110,24 +125,48 @@ func CreateCheckpoint(path, jobID, specHash string) (*CheckpointWriter, error) {
 }
 
 // AppendCheckpoint reopens an existing manifest for appending more entries
-// (the resume path keeps extending the same file).
-func AppendCheckpoint(path string) (*CheckpointWriter, error) {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+// (the resume path keeps extending the same file). It re-validates the file
+// before the first append: the header must bind to specHash — a manifest
+// recorded under a different spec (or an unreadable header) is recreated
+// rather than extended — and the file is truncated to its validated prefix,
+// so entries never land after a corrupt line where the next load would
+// silently discard them.
+func AppendCheckpoint(path, jobID, specHash string) (*CheckpointWriter, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("runner: open checkpoint: %w", err)
+	}
+	_, validLen, ok := scanCheckpoint(data, specHash)
+	if !ok {
+		// Missing file, foreign spec, or corrupt header: start clean.
+		return CreateCheckpoint(path, jobID, specHash)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("runner: open checkpoint: %w", err)
+	}
+	if validLen < int64(len(data)) {
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("runner: truncate checkpoint to valid prefix: %w", err)
+		}
+	}
+	if _, err := f.Seek(validLen, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runner: seek checkpoint: %w", err)
 	}
 	return &CheckpointWriter{f: f, w: bufio.NewWriter(f)}, nil
 }
 
-// Append writes one entry line.
+// Append writes one entry line and fsyncs it.
 func (cw *CheckpointWriter) Append(entry any) error {
 	cw.mu.Lock()
 	defer cw.mu.Unlock()
 	return cw.appendJSON(entry)
 }
 
-// appendJSON marshals and writes one line; callers hold cw.mu (or own the
-// writer exclusively, as CreateCheckpoint does).
+// appendJSON marshals, writes, and syncs one line; callers hold cw.mu (or
+// own the writer exclusively, as CreateCheckpoint does).
 func (cw *CheckpointWriter) appendJSON(v any) error {
 	if cw.err != nil {
 		return cw.err
@@ -139,9 +178,9 @@ func (cw *CheckpointWriter) appendJSON(v any) error {
 	}
 	data = append(data, '\n')
 	if _, err := cw.w.Write(data); err == nil {
-		err = cw.w.Flush()
-	} else {
-		cw.err = err
+		if err = cw.w.Flush(); err == nil {
+			err = cw.f.Sync()
+		}
 	}
 	if err != nil && cw.err == nil {
 		cw.err = err
@@ -149,17 +188,20 @@ func (cw *CheckpointWriter) appendJSON(v any) error {
 	return cw.err
 }
 
-// Close flushes and closes the manifest file.
+// Close flushes, syncs, and closes the manifest file.
 func (cw *CheckpointWriter) Close() error {
 	cw.mu.Lock()
 	defer cw.mu.Unlock()
 	flushErr := cw.w.Flush()
+	syncErr := cw.f.Sync()
 	closeErr := cw.f.Close()
 	if cw.err != nil {
 		return cw.err
 	}
-	if flushErr != nil {
-		return flushErr
+	for _, err := range []error{flushErr, syncErr, closeErr} {
+		if err != nil {
+			return err
+		}
 	}
-	return closeErr
+	return nil
 }

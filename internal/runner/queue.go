@@ -27,6 +27,10 @@ const (
 // the HTTP layer translates it into 429 + Retry-After.
 var ErrQueueFull = errors.New("runner: job queue is full")
 
+// ErrUnknownJob is returned by Fork when the parent job does not exist; the
+// HTTP layer translates it into 404.
+var ErrUnknownJob = errors.New("runner: unknown job")
+
 // JobStatus is the polled view of one job.
 type JobStatus struct {
 	ID      string `json:"id"`
@@ -35,6 +39,8 @@ type JobStatus struct {
 	State   string `json:"state"`
 	Error   string `json:"error,omitempty"`
 	Resumed bool   `json:"resumed,omitempty"`
+	// ForkedFrom is the parent job's ID for jobs created by Fork.
+	ForkedFrom string `json:"forked_from,omitempty"`
 
 	Created  time.Time  `json:"created"`
 	Started  *time.Time `json:"started,omitempty"`
@@ -71,7 +77,8 @@ type JobResult struct {
 	Report json.RawMessage `json:"report,omitempty"`
 	// Cells is the number of report cells (sweep jobs).
 	Cells int `json:"cells,omitempty"`
-	// Resumed marks a sweep job that continued from a checkpoint manifest.
+	// Resumed marks a job that continued from a checkpoint manifest rather
+	// than starting fresh (sweeps, and run jobs with checkpoint_every set).
 	Resumed bool `json:"resumed,omitempty"`
 	// Fuzz is the campaign report (fuzz jobs).
 	Fuzz json.RawMessage `json:"fuzz,omitempty"`
@@ -135,6 +142,14 @@ type Config struct {
 	// Validate, when set, vets every spec at admission (tcc.ValidateJobSpec
 	// checks profile/protocol/experiment names against the registries).
 	Validate func(*JobSpec) error
+	// ForkPrep, when set, enables POST /v1/jobs/{id}/fork: it validates the
+	// edited child spec against the parent's (rejecting edits that would
+	// invalidate the parent's snapshot) and seeds the child's checkpoint
+	// manifest from the parent's latest entry. The child spec may be
+	// normalized in place (e.g. inheriting the parent's checkpoint cadence)
+	// before the queue persists it. tcc.PrepareForkJob is the canonical
+	// implementation; nil disables forking.
+	ForkPrep func(parent, child *JobSpec, parentCkPath, childCkPath, childID string) error
 }
 
 // job is the queue's internal record.
@@ -194,10 +209,44 @@ func NewQueue(cfg Config, exec Executor) *Queue {
 // Submit validates and enqueues spec, returning the new job's status or
 // ErrQueueFull when the bounded queue has no room.
 func (q *Queue) Submit(spec *JobSpec) (*JobStatus, error) {
-	return q.submit(spec, "", false)
+	return q.submit(spec, "", false, "")
 }
 
-func (q *Queue) submit(spec *JobSpec, id string, resumed bool) (*JobStatus, error) {
+// Fork submits child as a new job continuing parentID's latest kernel
+// checkpoint. The Config.ForkPrep hook owns edit legality and manifest
+// seeding; the queue owns ID reservation and admission. The parent may be in
+// any state — running parents fork from their most recent durable snapshot.
+func (q *Queue) Fork(parentID string, child *JobSpec) (*JobStatus, error) {
+	if q.cfg.ForkPrep == nil {
+		return nil, errors.New("runner: forking is not enabled (no ForkPrep hook)")
+	}
+	if q.cfg.StateDir == "" {
+		return nil, errors.New("runner: forking requires a state directory")
+	}
+	q.mu.Lock()
+	parent, ok := q.jobs[parentID]
+	if !ok {
+		q.mu.Unlock()
+		return nil, fmt.Errorf("%w %q", ErrUnknownJob, parentID)
+	}
+	parentSpec := parent.spec
+	q.seq++
+	id := fmt.Sprintf("j%06d", q.seq)
+	q.mu.Unlock()
+	parentCk := q.checkpointPath(parentID)
+	childCk := q.checkpointPath(id)
+	if err := q.cfg.ForkPrep(parentSpec, child, parentCk, childCk, id); err != nil {
+		return nil, err
+	}
+	return q.submit(child, id, false, parentID)
+}
+
+// checkpointPath is the manifest file for one job ID under the state dir.
+func (q *Queue) checkpointPath(id string) string {
+	return filepath.Join(q.cfg.StateDir, id+".ckpt.jsonl")
+}
+
+func (q *Queue) submit(spec *JobSpec, id string, resumed bool, forkedFrom string) (*JobStatus, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -224,6 +273,7 @@ func (q *Queue) submit(spec *JobSpec, id string, resumed bool) (*JobStatus, erro
 		status: JobStatus{
 			ID: id, Name: spec.Name, Kind: spec.Kind,
 			State: StateQueued, Created: time.Now(), Resumed: resumed,
+			ForkedFrom: forkedFrom,
 		},
 	}
 	select {
@@ -393,8 +443,14 @@ func (q *Queue) runJob(j *job) {
 		},
 	}
 	jc.normalize()
-	if q.cfg.StateDir != "" && j.spec.Kind == KindSweep {
-		jc.CheckpointPath = filepath.Join(q.cfg.StateDir, j.id+".ckpt.jsonl")
+	// Sweeps always checkpoint (per completed cell); run jobs checkpoint at
+	// kernel-snapshot granularity only when the spec asks for a cadence.
+	if q.cfg.StateDir != "" {
+		switch {
+		case j.spec.Kind == KindSweep,
+			j.spec.Kind == KindRun && j.spec.Run != nil && j.spec.Run.CheckpointEvery > 0:
+			jc.CheckpointPath = q.checkpointPath(j.id)
+		}
 	}
 
 	// The fuzz-watchdog pattern: the executor runs in its own goroutine and
@@ -564,7 +620,7 @@ func (q *Queue) Recover() ([]string, error) {
 			}
 			q.mu.Unlock()
 		}
-		if _, err := q.submit(spec, id, true); err != nil {
+		if _, err := q.submit(spec, id, true, ""); err != nil {
 			return recovered, fmt.Errorf("runner: recover %s: %w", id, err)
 		}
 		recovered = append(recovered, id)

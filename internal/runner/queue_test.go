@@ -302,19 +302,19 @@ func TestCheckpointRoundTrip(t *testing.T) {
 		t.Fatalf("partial tail must be dropped: %d entries err=%v", len(entries), err)
 	}
 
-	// Resume path appends to the same manifest.
-	cw, err = AppendCheckpoint(path)
+	// Resume path truncates the partial tail and appends to the same
+	// manifest; the new entry extends the valid prefix instead of landing
+	// after the corruption.
+	cw, err = AppendCheckpoint(path, "j000001", "abc123")
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Overwrite the partial tail is not possible with O_APPEND; the loader
-	// handles the interleaving by stopping at the first invalid line.
 	if err := cw.Append(entry{4}); err != nil {
 		t.Fatal(err)
 	}
 	cw.Close()
 	entries, _ = LoadCheckpoint(path, "abc123")
-	if len(entries) != 3 {
-		t.Fatalf("corrupt line must end the valid prefix, got %d entries", len(entries))
+	if len(entries) != 4 || string(entries[3]) != `{"index":4}` {
+		t.Fatalf("append after crash must extend the valid prefix, got %q", entries)
 	}
 }

@@ -85,6 +85,12 @@ type RunSpec struct {
 	SampleEvery uint64 `json:"sample_every,omitempty"`
 	// MaxCycles aborts a run that exceeds it (deadlock watchdog; 0 = off).
 	MaxCycles uint64 `json:"max_cycles,omitempty"`
+	// CheckpointEvery snapshots the full simulator state into the job's
+	// checkpoint manifest every N cycles (scalable machine only; 0 = off).
+	// An interrupted job resumes from its latest snapshot instead of
+	// recomputing, replaying to byte-identical results, and a finished or
+	// running job can be forked from its latest snapshot with edited knobs.
+	CheckpointEvery uint64 `json:"checkpoint_every,omitempty"`
 }
 
 // MachineSpec is the wire form of the machine configuration: every field

@@ -1,0 +1,49 @@
+package tid
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Snapshot/restore support for kernel-level checkpoints: the vendor's whole
+// state is the next TID to grant plus the issued-but-unretired set. The
+// outstanding set is emitted sorted by TID so a snapshot is canonical —
+// serializing the same vendor twice yields the same bytes.
+
+// Outstanding is one issued-but-unretired TID and its holding node.
+type Outstanding struct {
+	TID  TID `json:"tid"`
+	Node int `json:"node"`
+}
+
+// Snapshot returns the vendor's next TID and the outstanding set sorted by
+// TID.
+func (v *Vendor) Snapshot() (next TID, out []Outstanding) {
+	out = make([]Outstanding, 0, len(v.outstanding))
+	for t, n := range v.outstanding {
+		out = append(out, Outstanding{TID: t, Node: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TID < out[j].TID })
+	return v.next, out
+}
+
+// Restore resets the vendor to a snapshot. Every outstanding TID must have
+// been issued (non-zero, below next) and appear once.
+func (v *Vendor) Restore(next TID, out []Outstanding) error {
+	if next == 0 {
+		return fmt.Errorf("tid: restore next TID must be >= 1, got 0")
+	}
+	m := make(map[TID]int, len(out))
+	for _, o := range out {
+		if o.TID == 0 || o.TID >= next {
+			return fmt.Errorf("tid: restore outstanding TID %d outside issued range [1, %d)", o.TID, next)
+		}
+		if _, dup := m[o.TID]; dup {
+			return fmt.Errorf("tid: restore outstanding TID %d duplicated", o.TID)
+		}
+		m[o.TID] = o.Node
+	}
+	v.next = next
+	v.outstanding = m
+	return nil
+}

@@ -116,6 +116,14 @@ func validateRunSpec(r *RunSpec) error {
 	if _, err := ProtocolByNameErr(protocol); err != nil {
 		return err
 	}
+	if r.CheckpointEvery > 0 {
+		if protocol != "tcc" {
+			return fmt.Errorf("tcc: checkpointing requires the scalable machine (protocol %q has no snapshot support)", protocol)
+		}
+		if r.SampleEvery > 0 {
+			return fmt.Errorf("tcc: checkpointing and sampling are mutually exclusive (the sampler's phase is not part of the snapshot)")
+		}
+	}
 	return runConfig(r).Validate()
 }
 
@@ -166,8 +174,10 @@ type RunJobOptions struct {
 	Progress func(stage string, done, total int)
 	// Logf receives human-readable progress lines (fuzz jobs).
 	Logf func(format string, args ...any)
-	// CheckpointPath points sweep jobs at a checkpoint manifest to create or
-	// resume from.
+	// CheckpointPath points sweep jobs — and run jobs with a non-zero
+	// CheckpointEvery — at a checkpoint manifest to create or resume from.
+	// Run jobs keep an event-stream sidecar next to the manifest so a
+	// resumed stream is byte-identical to an uninterrupted one.
 	CheckpointPath string
 }
 
@@ -298,11 +308,7 @@ func executeRun(ctx context.Context, spec *JobSpec, jc *JobContext, opts *RunJob
 	}
 	prof = prof.Scale(scale)
 	cfg := runConfig(r)
-
-	sys, err := NewSystemFor(protocol, cfg, prof.Build(r.Procs, cfg.Seed))
-	if err != nil {
-		return nil, err
-	}
+	prog := prof.Build(r.Procs, cfg.Seed)
 
 	var sink io.Writer
 	if opts != nil && opts.EventWriter != nil {
@@ -310,13 +316,64 @@ func executeRun(ctx context.Context, spec *JobSpec, jc *JobContext, opts *RunJob
 	} else if jc.Log != nil {
 		sink = jc.Log
 	}
+
+	var rc *runCheckpointer
+	if r.CheckpointEvery > 0 {
+		if protocol != "tcc" {
+			return nil, fmt.Errorf("tcc: checkpointing requires the scalable machine (protocol %q has no snapshot support)", protocol)
+		}
+		if r.SampleEvery > 0 {
+			return nil, fmt.Errorf("tcc: checkpointing and sampling are mutually exclusive (the sampler's phase is not part of the snapshot)")
+		}
+		if opts != nil && opts.ConflictProfile {
+			return nil, fmt.Errorf("tcc: checkpointing and conflict profiling are mutually exclusive (the profiler's tallies are not part of the snapshot)")
+		}
+		if jc.CheckpointPath == "" {
+			return nil, fmt.Errorf("tcc: checkpoint_every requires a checkpoint manifest path (daemon -state, or tccsim -checkpoint)")
+		}
+		var err error
+		rc, err = newRunCheckpointer(spec, cfg, prog, jc, sink != nil)
+		if err != nil {
+			return nil, err
+		}
+		defer rc.close()
+	}
+
+	var sys ProtocolSystem
+	if rc != nil && rc.sys != nil {
+		sys = &protoScalable{sys: rc.sys}
+	} else {
+		var err error
+		sys, err = NewSystemFor(protocol, cfg, prog)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	var stream *obs.JSONLStream
 	var observers []Observer
 	if opts != nil && opts.Observer != nil {
 		observers = append(observers, opts.Observer)
 	}
 	if sink != nil {
-		stream = obs.NewJSONLStream(sink)
+		w := sink
+		if rc != nil {
+			// Replay the stream prefix emitted before the resumed cut, then
+			// route new lines through the offset counter into both the live
+			// sink and the sidecar (which already holds the prefix).
+			if len(rc.prefix) > 0 {
+				if _, err := sink.Write(rc.prefix); err != nil {
+					return nil, fmt.Errorf("tcc: replay event-stream prefix: %w", err)
+				}
+			}
+			rc.counter = &countingWriter{w: io.MultiWriter(sink, rc.sidecar), n: int64(len(rc.prefix))}
+			w = rc.counter
+		}
+		if rc != nil && len(rc.prefix) > 0 {
+			stream = obs.ResumeJSONLStream(w)
+		} else {
+			stream = obs.NewJSONLStream(w)
+		}
 		observers = append(observers, stream)
 	}
 	if o := TeeObservers(observers...); o != nil {
@@ -344,7 +401,20 @@ func executeRun(ctx context.Context, spec *JobSpec, jc *JobContext, opts *RunJob
 		profiler = ps.EnableConflictProfiler()
 	}
 
-	res, err := runGuarded(ctx, sys)
+	var res *ProtocolResults
+	if rc != nil {
+		cr, ok := sys.(interface {
+			RunCheckpointed(every uint64, fn func(*Checkpoint) error) (*ProtocolResults, error)
+		})
+		if !ok {
+			return nil, fmt.Errorf("tcc: protocol %q does not support checkpointing", protocol)
+		}
+		res, err = runGuarded(ctx, func() (*ProtocolResults, error) {
+			return cr.RunCheckpointed(rc.every, rc.save)
+		})
+	} else {
+		res, err = runGuarded(ctx, sys.Run)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -354,7 +424,7 @@ func executeRun(ctx context.Context, spec *JobSpec, jc *JobContext, opts *RunJob
 		}
 	}
 
-	result := &JobResult{Kind: JobKindRun, Protocol: protocol}
+	result := &JobResult{Kind: JobKindRun, Protocol: protocol, Resumed: rc != nil && rc.resumed}
 	sum, err := json.Marshal(res.Summary)
 	if err != nil {
 		return nil, fmt.Errorf("tcc: encode summary: %w", err)
@@ -374,9 +444,9 @@ func executeRun(ctx context.Context, spec *JobSpec, jc *JobContext, opts *RunJob
 // on cancellation the goroutine is abandoned (its MaxCycles watchdog bounds
 // how long it lingers) and the caller moves on. A background context runs
 // inline with zero overhead.
-func runGuarded(ctx context.Context, sys ProtocolSystem) (*ProtocolResults, error) {
+func runGuarded(ctx context.Context, run func() (*ProtocolResults, error)) (*ProtocolResults, error) {
 	if ctx == nil || ctx.Done() == nil {
-		return sys.Run()
+		return run()
 	}
 	type outcome struct {
 		res *ProtocolResults
@@ -384,7 +454,7 @@ func runGuarded(ctx context.Context, sys ProtocolSystem) (*ProtocolResults, erro
 	}
 	ch := make(chan outcome, 1)
 	go func() {
-		res, err := sys.Run()
+		res, err := run()
 		ch <- outcome{res, err}
 	}()
 	select {

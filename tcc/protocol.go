@@ -194,6 +194,23 @@ func (p *protoScalable) Run() (*ProtocolResults, error) {
 func (p *protoScalable) Observe(o Observer)      { p.sys.Observe(o) }
 func (p *protoScalable) AuditFinalMemory() error { return p.sys.AuditFinalMemory() }
 
+// RunCheckpointed surfaces kernel-level checkpointing through the
+// ProtocolSystem interface; like the sampler and profiler hooks, executeRun
+// discovers it via optional-interface assertion, so protocols without
+// snapshot support correctly fail the assertion.
+func (p *protoScalable) RunCheckpointed(every uint64, fn func(*Checkpoint) error) (*ProtocolResults, error) {
+	res, err := p.sys.RunCheckpointed(every, fn)
+	if err != nil {
+		return nil, err
+	}
+	return &ProtocolResults{
+		Protocol:  "tcc",
+		Summary:   res.Summary(),
+		CommitLog: res.CommitLog,
+		Scalable:  res,
+	}, nil
+}
+
 // EnableSampler and EnableConflictProfiler surface the scalable machine's
 // extra instrumentation through the ProtocolSystem interface; RunJob
 // discovers them via optional-interface assertion (they exist only on this

@@ -235,6 +235,45 @@ func NewSystem(cfg Config, prog Program) (*System, error) {
 // Run executes the program to completion.
 func (s *System) Run() (*Results, error) { return s.inner.Run() }
 
+// Checkpoint is a versioned snapshot of the full simulator state
+// (scalabletcc/kernel-checkpoint v1), taken at a quiescent cut: pending
+// kernel events, cache tags and line bodies, directory and NSTID state, the
+// memory image, per-processor transaction state, and workload cursors. A
+// Checkpoint round-trips through JSON and restores (RestoreSystem) into a
+// machine that replays the remainder of the run byte-identically.
+type Checkpoint = core.Checkpoint
+
+// Snapshot captures the machine's full state. It fails on a machine with
+// the conflict profiler, auditor, or sampler attached (their state lives
+// outside the snapshot), and mid-cycle (snapshots are taken between cycles;
+// use RunCheckpointed for cuts inside a run).
+func (s *System) Snapshot() (*Checkpoint, error) { return s.inner.Snapshot() }
+
+// RunCheckpointed runs the program to completion, handing fn a Snapshot at
+// the first quiescent cut at or after each multiple of every cycles.
+// Checkpointing is invisible to the run: results and event streams are
+// byte-identical to a plain Run. An error from fn aborts the run.
+func (s *System) RunCheckpointed(every uint64, fn func(*Checkpoint) error) (*Results, error) {
+	return s.inner.RunCheckpointed(sim.Time(every), fn)
+}
+
+// RestoreSystem rebuilds a machine from a Checkpoint and resumes it on the
+// next Run. cfg must describe the same machine shape (processor count,
+// geometry, execution engine); timing knobs (hop/memory/directory latency,
+// link bandwidth, MaxCycles, starvation retention, shard worker count) may
+// differ — they apply from the cut onward, which is what job forking edits.
+func RestoreSystem(cfg Config, prog Program, ck *Checkpoint) (*System, error) {
+	cc, err := cfg.compile()
+	if err != nil {
+		return nil, err
+	}
+	s, err := core.RestoreSystem(cc, prog, ck)
+	if err != nil {
+		return nil, err
+	}
+	return &System{inner: s}, nil
+}
+
 // ConflictProfiler is the TAPE-style profiler: it attributes violations and
 // wasted cycles to the cache lines (and committing transactions) that
 // caused them, and tracks per-processor retry streaks for starvation
